@@ -1,0 +1,49 @@
+//! Connected-components benchmarks on vertex graphs: Shiloach–Vishkin vs
+//! Afforest vs label propagation vs BFS (§3.1's algorithm choice), plus the
+//! Afforest neighbor-rounds ablation (DESIGN.md ablation #3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use et_cc::{afforest, bfs_cc, label_propagation, shiloach_vishkin, AfforestConfig};
+use std::hint::black_box;
+
+fn bench_cc_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_algorithms");
+    group.sample_size(10);
+    for name in ["youtube", "livejournal"] {
+        let graph = et_bench::dataset(name, 0.25);
+        let g = graph.graph();
+        group.bench_with_input(BenchmarkId::new("shiloach_vishkin", name), g, |b, g| {
+            b.iter(|| black_box(shiloach_vishkin(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("afforest", name), g, |b, g| {
+            b.iter(|| black_box(afforest(g, AfforestConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("label_propagation", name), g, |b, g| {
+            b.iter(|| black_box(label_propagation(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", name), g, |b, g| {
+            b.iter(|| black_box(bfs_cc(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_afforest_rounds(c: &mut Criterion) {
+    let graph = et_bench::dataset("livejournal", 0.25);
+    let g = graph.graph();
+    let mut group = c.benchmark_group("afforest_neighbor_rounds");
+    group.sample_size(10);
+    for rounds in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            let cfg = AfforestConfig {
+                neighbor_rounds: r,
+                ..AfforestConfig::default()
+            };
+            b.iter(|| black_box(afforest(g, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc_algorithms, bench_afforest_rounds);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Community-search query latency: EquiTruss index traversal vs TCP-Index
+//! vs the brute-force oracle — the reason the index exists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use et_community::{ground_truth, query_communities, TcpIndex};
+use et_core::{build_index, Variant};
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let graph = et_bench::dataset("dblp", 0.25);
+    let decomposition = et_truss::decompose_parallel(&graph);
+    let index = build_index(&graph, Variant::Afforest).index;
+    let tcp = TcpIndex::build(&graph, &decomposition.trussness);
+
+    // Query workload: 64 spread vertices at k = 4.
+    let n = graph.num_vertices() as u32;
+    let queries: Vec<u32> = (0..64).map(|i| i * (n / 64).max(1)).collect();
+    let k = 4;
+
+    let mut group = c.benchmark_group("community_query");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("equitruss", "dblp"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += query_communities(&graph, &index, q, k).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("tcp_index", "dblp"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += tcp.query(&graph, &decomposition.trussness, q, k).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("brute_force", "dblp"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries[..8] {
+                // oracle is slow; sample fewer queries
+                total +=
+                    ground_truth::brute_force_communities(&graph, &decomposition.trussness, q, k)
+                        .len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Support-kernel benchmarks + intersection-kernel ablation (DESIGN.md
+//! ablation #4: merge vs binary vs galloping vs adaptive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use et_graph::EdgeIndexedGraph;
+use et_triangle::intersect;
+use std::hint::black_box;
+
+fn bench_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("support");
+    group.sample_size(10);
+    for name in ["dblp", "youtube"] {
+        let graph = et_bench::dataset(name, 0.25);
+        group.bench_with_input(BenchmarkId::new("parallel", name), &graph, |b, g| {
+            b.iter(|| black_box(et_triangle::compute_support(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("serial", name), &graph, |b, g| {
+            b.iter(|| black_box(et_triangle::compute_support_serial(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection_kernels(c: &mut Criterion) {
+    let graph: EdgeIndexedGraph = et_bench::dataset("orkut", 0.25);
+    // Pick the heaviest edges (hub-hub) — the regime where kernels differ.
+    let mut edges: Vec<(u32, u32)> = graph.graph().edges().collect();
+    edges.sort_by_key(|&(u, v)| std::cmp::Reverse(graph.degree(u).min(graph.degree(v))));
+    edges.truncate(2000);
+
+    let mut group = c.benchmark_group("intersection");
+    group.sample_size(20);
+    group.bench_function("merge", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(u, v) in &edges {
+                total += intersect::merge_intersect_count(graph.neighbors(u), graph.neighbors(v));
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("binary", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut buf = Vec::new();
+            for &(u, v) in &edges {
+                let (s, l) = if graph.degree(u) <= graph.degree(v) {
+                    (u, v)
+                } else {
+                    (v, u)
+                };
+                buf.clear();
+                intersect::binary_intersect_into(graph.neighbors(s), graph.neighbors(l), &mut buf);
+                total += buf.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("gallop", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut buf = Vec::new();
+            for &(u, v) in &edges {
+                let (s, l) = if graph.degree(u) <= graph.degree(v) {
+                    (u, v)
+                } else {
+                    (v, u)
+                };
+                buf.clear();
+                intersect::gallop_intersect_into(graph.neighbors(s), graph.neighbors(l), &mut buf);
+                total += buf.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(u, v) in &edges {
+                total += intersect::intersect_count(graph.neighbors(u), graph.neighbors(v));
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_support, bench_intersection_kernels);
+criterion_main!(benches);

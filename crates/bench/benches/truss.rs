@@ -1,0 +1,23 @@
+//! K-truss decomposition benchmarks: serial bucket peeling vs parallel
+//! level-synchronous peeling (DESIGN.md ablation #5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_truss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truss_decomposition");
+    group.sample_size(10);
+    for name in ["dblp", "livejournal"] {
+        let graph = et_bench::dataset(name, 0.25);
+        group.bench_with_input(BenchmarkId::new("serial", name), &graph, |b, g| {
+            b.iter(|| black_box(et_truss::decompose_serial(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", name), &graph, |b, g| {
+            b.iter(|| black_box(et_truss::decompose_parallel(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truss);
+criterion_main!(benches);

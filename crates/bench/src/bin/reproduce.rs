@@ -1,0 +1,107 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENTS: fig2 table3 fig4 fig5 table4 table5 fig6 fig7 fig8 fig9
+//!              accuracy all
+//!
+//! OPTIONS:
+//!   --scale <f64>       dataset scale factor (default 1.0)
+//!   --threads <list>    comma-separated thread counts (default: 1,2,4,..,max)
+//!   --out <dir>         also write JSON reports into <dir>
+//! ```
+
+use et_bench::experiments::{self, Opts};
+use et_bench::Report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const ALL_EXPERIMENTS: [&str; 12] = [
+    "fig2", "table3", "fig4", "fig5", "table4", "table5", "fig6", "fig7", "fig8", "fig9",
+    "accuracy", "quality",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] <experiment>...\n\
+         experiments: {} all",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.scale = v.parse().unwrap_or_else(|_| usage());
+                if opts.scale <= 0.0 {
+                    usage();
+                }
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.threads = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().unwrap_or_else(|_| usage()))
+                    .collect();
+                if opts.threads.is_empty() {
+                    usage();
+                }
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            exp => wanted.push(exp.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for w in &wanted {
+        if !ALL_EXPERIMENTS.contains(&w.as_str()) {
+            eprintln!("unknown experiment {w:?}");
+            usage();
+        }
+    }
+
+    for name in &wanted {
+        let started = std::time::Instant::now();
+        let report: Report = match name.as_str() {
+            "fig2" => experiments::fig2::run(&opts),
+            "table3" => experiments::table3::run(&opts),
+            "fig4" => experiments::fig4::run(&opts),
+            "fig5" => experiments::fig5::run(&opts),
+            "table4" => experiments::table4::run(&opts),
+            "table5" => experiments::table5::run(&opts),
+            "fig6" => experiments::fig6::run(&opts),
+            "fig7" => experiments::fig7::run(&opts),
+            "fig8" => experiments::fig8::run(&opts),
+            "fig9" => experiments::fig9::run(&opts),
+            "accuracy" => experiments::accuracy::run(&opts),
+            "quality" => experiments::quality::run(&opts),
+            _ => unreachable!("validated above"),
+        };
+        report.print();
+        eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            if let Err(e) = report.save_json(dir, name) {
+                eprintln!("warning: could not save {name}.json: {e}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

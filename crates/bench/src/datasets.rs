@@ -1,0 +1,72 @@
+//! Dataset loading with on-disk caching of generated graphs.
+//!
+//! Each paper dataset name resolves to its synthetic analog from
+//! `et_gen::profiles`; the canonical CSR is cached under
+//! `target/et-datasets/` so repeated harness invocations skip generation.
+
+use et_graph::{io, EdgeIndexedGraph};
+use std::path::PathBuf;
+
+/// Directory used for cached generated graphs.
+pub fn cache_dir() -> PathBuf {
+    std::env::var_os("ET_DATASET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/et-datasets"))
+}
+
+/// Loads (generating and caching if needed) the named dataset profile at the
+/// given scale, edge-indexed and ready for the kernels.
+///
+/// # Panics
+/// Panics on unknown profile names — the harness validates names up front.
+pub fn dataset(name: &str, scale: f64) -> EdgeIndexedGraph {
+    let profile = et_gen::profile_by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset profile {name:?}"));
+    let dir = cache_dir();
+    let key = format!("{}-s{:.4}.bin", profile.name, scale);
+    let path = dir.join(key);
+    if let Ok(g) = io::read_binary(&path) {
+        return EdgeIndexedGraph::new(g);
+    }
+    let g = profile.generate(scale);
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = io::write_binary(&g, &path);
+    }
+    EdgeIndexedGraph::new(g)
+}
+
+/// The four networks of the Fig. 2 / Fig. 4 / Table 4 experiments, in the
+/// paper's order.
+pub const CORE_FOUR: [&str; 4] = ["amazon", "dblp", "livejournal", "orkut"];
+
+/// The breakdown-figure order used by Fig. 4 (largest first).
+pub const FIG4_ORDER: [&str; 4] = ["orkut", "livejournal", "youtube", "dblp"];
+
+/// The scaling networks of Fig. 6 / Fig. 9.
+pub const SCALING_THREE: [&str; 3] = ["orkut", "livejournal", "youtube"];
+
+/// The Table 5 set.
+pub const TABLE5_FIVE: [&str; 5] = ["amazon", "dblp", "youtube", "livejournal", "orkut"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_reloads_identically() {
+        std::env::set_var(
+            "ET_DATASET_DIR",
+            std::env::temp_dir().join("et-datasets-test"),
+        );
+        let a = dataset("amazon", 1.0 / 128.0);
+        let b = dataset("amazon", 1.0 / 128.0);
+        assert_eq!(a.graph(), b.graph());
+        std::env::remove_var("ET_DATASET_DIR");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        dataset("nope", 1.0);
+    }
+}

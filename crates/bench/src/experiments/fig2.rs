@@ -1,0 +1,53 @@
+//! Figure 2 — compute-kernel timing breakdown (percent) of the *Original*
+//! (serial) EquiTruss implementation: SupportComp., TrussDecomp., EquiTruss.
+//!
+//! The paper's point: for large graphs, the EquiTruss index construction is
+//! as expensive as the k-truss decomposition itself — the motivation for
+//! parallelizing it.
+
+use super::Opts;
+use crate::datasets::{dataset, CORE_FOUR};
+use crate::Report;
+use std::time::Instant;
+
+/// Runs the experiment and returns the report.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new(
+        "Figure 2 — Original EquiTruss kernel breakdown (% of total, 1 thread)",
+        &["network", "SupportComp.", "TrussDecomp.", "EquiTruss", "total"],
+    );
+    report.note(super::scale_note(opts.scale));
+    report.note("paper shape: EquiTruss % grows with graph size, rivaling TrussDecomp");
+
+    for name in CORE_FOUR {
+        let graph = dataset(name, opts.scale);
+        crate::with_threads(1, || {
+            let t0 = Instant::now();
+            let support = et_triangle::compute_support_serial(&graph);
+            let t_support = t0.elapsed();
+
+            let t1 = Instant::now();
+            let decomposition =
+                et_truss::serial::decompose_serial_with_support(&graph, support);
+            let t_truss = t1.elapsed();
+
+            let t2 = Instant::now();
+            let index = et_core::build_original(&graph, &decomposition.trussness);
+            let t_equitruss = t2.elapsed();
+            std::hint::black_box(index.num_supernodes());
+
+            let total = t_support + t_truss + t_equitruss;
+            let pct = |d: std::time::Duration| {
+                format!("{:.1}%", 100.0 * d.as_secs_f64() / total.as_secs_f64())
+            };
+            report.push_row(vec![
+                name.to_string(),
+                pct(t_support),
+                pct(t_truss),
+                pct(t_equitruss),
+                crate::report::fmt_duration(total),
+            ]);
+        });
+    }
+    report
+}

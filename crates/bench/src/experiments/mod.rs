@@ -1,0 +1,50 @@
+//! One module per paper table/figure.
+
+pub mod accuracy;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod quality;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use et_core::KernelTimings;
+use std::time::Duration;
+
+/// Options shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Dataset scale factor (1.0 = default synthetic sizes).
+    pub scale: f64,
+    /// Thread counts for scaling experiments (default: powers of two up to
+    /// the available parallelism).
+    pub threads: Vec<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: 1.0,
+            threads: crate::thread_sweep(),
+        }
+    }
+}
+
+/// The paper's Fig. 4 kernel set total: everything except the TrussDecomp
+/// input dictionary (which Algorithms 1–2 receive precomputed).
+pub fn fig4_total(t: &KernelTimings) -> Duration {
+    t.init + t.support + t.spnode + t.spedge + t.smgraph + t.spnode_remap
+}
+
+/// Standard substitution note attached to every report.
+pub fn scale_note(scale: f64) -> String {
+    format!(
+        "synthetic SNAP analogs (see DESIGN.md), scale = {scale}; host parallelism = {}",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    )
+}

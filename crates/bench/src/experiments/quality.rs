@@ -1,0 +1,104 @@
+//! Cohesion quality — k-truss vs k-core communities.
+//!
+//! Not a numbered figure, but the paper's *motivation* (§1, §5): k-core
+//! local communities "fail to avoid non-relevant vertices" and lack
+//! cohesion, while k-truss communities guarantee triangle density. This
+//! experiment quantifies that claim on the synthetic datasets: for a panel
+//! of query vertices, compare density / minimum internal degree /
+//! conductance of the k-truss community against the k-core community of the
+//! same vertex at the same k.
+
+use super::Opts;
+use crate::datasets::dataset;
+use crate::Report;
+use et_community::{query_communities, vertex_set_metrics, KCoreIndex};
+use et_core::{build_index, Variant};
+
+/// Runs the experiment and returns the report.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new(
+        "Quality — k-truss vs k-core community cohesion (k = 4)",
+        &[
+            "network",
+            "queries",
+            "truss size",
+            "core size",
+            "truss density",
+            "core density",
+            "truss min-deg",
+            "core min-deg",
+            "truss conduct.",
+            "core conduct.",
+        ],
+    );
+    report.note(super::scale_note(opts.scale));
+    report.note("paper motivation: k-core blobs are huge and sparse; k-truss circles are small and dense");
+
+    let k = 4u32;
+    for name in ["amazon", "dblp", "youtube"] {
+        let graph = dataset(name, opts.scale);
+        let index = build_index(&graph, Variant::Afforest).index;
+        let kcore = KCoreIndex::build(graph.graph());
+
+        let n = graph.num_vertices() as u32;
+        let mut stats = QualityAccum::default();
+        for q in (0..n).step_by((n as usize / 200).max(1)) {
+            let truss = query_communities(&graph, &index, q, k);
+            let Some(tc) = truss.first() else { continue };
+            let Some(cc) = kcore.community(graph.graph(), q, k) else {
+                continue;
+            };
+            let tm = vertex_set_metrics(&graph, &tc.vertices(&graph));
+            let cm = vertex_set_metrics(&graph, &cc.vertices);
+            stats.add(&tm, &cm);
+        }
+        if stats.count == 0 {
+            continue;
+        }
+        let c = stats.count as f64;
+        report.push_row(vec![
+            name.to_string(),
+            stats.count.to_string(),
+            format!("{:.0}", stats.truss_size / c),
+            format!("{:.0}", stats.core_size / c),
+            format!("{:.3}", stats.truss_density / c),
+            format!("{:.3}", stats.core_density / c),
+            format!("{:.1}", stats.truss_min_deg / c),
+            format!("{:.1}", stats.core_min_deg / c),
+            format!("{:.3}", stats.truss_conductance / c),
+            format!("{:.3}", stats.core_conductance / c),
+        ]);
+    }
+    report
+}
+
+#[derive(Default)]
+struct QualityAccum {
+    count: usize,
+    truss_size: f64,
+    core_size: f64,
+    truss_density: f64,
+    core_density: f64,
+    truss_min_deg: f64,
+    core_min_deg: f64,
+    truss_conductance: f64,
+    core_conductance: f64,
+}
+
+impl QualityAccum {
+    fn add(
+        &mut self,
+        truss: &et_community::CommunityMetrics,
+        core: &et_community::CommunityMetrics,
+    ) {
+        self.count += 1;
+        self.truss_size += truss.vertices as f64;
+        self.core_size += core.vertices as f64;
+        self.truss_density += truss.density;
+        self.core_density += core.density;
+        self.truss_min_deg += truss.min_internal_degree as f64;
+        self.core_min_deg += core.min_internal_degree as f64;
+        self.truss_conductance += truss.conductance;
+        self.core_conductance += core.conductance;
+    }
+}

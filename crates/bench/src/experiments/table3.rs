@@ -1,0 +1,52 @@
+//! Table 3 — dataset inventory: vertices and edges of every network, with
+//! the paper's original SNAP sizes alongside for scale context.
+
+use super::Opts;
+use crate::datasets::dataset;
+use crate::Report;
+use et_gen::PROFILE_NAMES;
+use et_graph::GraphStats;
+
+/// The paper's Table 3 sizes, for side-by-side context.
+const PAPER_SIZES: [(&str, u64, u64); 6] = [
+    ("amazon", 334_863, 925_872),
+    ("dblp", 317_080, 1_049_866),
+    ("youtube", 1_134_890, 2_987_624),
+    ("livejournal", 3_997_962, 34_681_189),
+    ("orkut", 3_072_441, 117_185_083),
+    ("friendster", 65_608_366, 1_806_067_135),
+];
+
+/// Runs the experiment and returns the report.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new(
+        "Table 3 — network datasets (synthetic analogs vs paper originals)",
+        &[
+            "network",
+            "|V| (ours)",
+            "|E| (ours)",
+            "max deg",
+            "|V| (paper)",
+            "|E| (paper)",
+        ],
+    );
+    report.note(super::scale_note(opts.scale));
+    for name in PROFILE_NAMES {
+        let graph = dataset(name, opts.scale);
+        let stats = GraphStats::compute(graph.graph());
+        let (_, pv, pe) = PAPER_SIZES
+            .iter()
+            .find(|&&(n, _, _)| n == name)
+            .copied()
+            .expect("paper sizes cover all profiles");
+        report.push_row(vec![
+            name.to_string(),
+            stats.num_vertices.to_string(),
+            stats.num_edges.to_string(),
+            stats.max_degree.to_string(),
+            pv.to_string(),
+            pe.to_string(),
+        ]);
+    }
+    report
+}

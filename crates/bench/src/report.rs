@@ -1,0 +1,142 @@
+//! Tabular experiment reports: aligned console output + JSON persistence.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// A titled table of experiment results.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Which paper artifact this reproduces (e.g. "Figure 5").
+    pub title: String,
+    /// Free-form context: dataset scale, thread counts, caveats.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (pre-formatted strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for n in &self.notes {
+            out.push_str(&format!("   {n}\n"));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Persists the report as JSON under `dir/<slug>.json`.
+    pub fn save_json(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{slug}.json"));
+        let json = serde_json::to_string_pretty(self).expect("report serializes");
+        std::fs::write(path, json)
+    }
+}
+
+/// Formats a duration in adaptive units (µs/ms/s) for table cells.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("Test", &["name", "value"]);
+        r.push_row(vec!["a-long-name".into(), "1".into()]);
+        r.push_row(vec!["b".into(), "12345".into()]);
+        let s = r.render();
+        assert!(s.contains("== Test =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows must align on the second column.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7µs");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new("t", &["a"]);
+        r.note("hello");
+        r.push_row(vec!["x".into()]);
+        let dir = std::env::temp_dir().join("et-bench-report-test");
+        r.save_json(&dir, "t").unwrap();
+        let loaded = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(loaded.contains("hello"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Thread-pool control for the scaling experiments.
+//!
+//! The paper sweeps 1..128 OpenMP threads on Perlmutter; here each
+//! measurement runs inside a dedicated rayon pool of the requested size so
+//! the sweep is hermetic regardless of the ambient global pool.
+
+/// Runs `f` inside a rayon pool of exactly `num_threads` workers.
+pub fn with_threads<T: Send>(num_threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(num_threads.max(1))
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+/// Powers of two from 1 up to (and including) the available parallelism —
+/// the x-axis of Fig. 6/7/9. On a 128-core node this yields
+/// 1, 2, 4, …, 128 exactly as in the paper.
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut sweep = Vec::new();
+    let mut t = 1;
+    while t <= max {
+        sweep.push(t);
+        t *= 2;
+    }
+    if *sweep.last().unwrap() != max {
+        sweep.push(max);
+    }
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_size_is_respected() {
+        let threads = with_threads(2, rayon::current_num_threads);
+        assert_eq!(threads, 2);
+        let one = with_threads(1, rayon::current_num_threads);
+        assert_eq!(one, 1);
+    }
+
+    #[test]
+    fn work_runs_inside_pool() {
+        let sum: u64 = with_threads(2, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn sweep_starts_at_one_and_is_increasing() {
+        let s = thread_sweep();
+        assert_eq!(s[0], 1);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

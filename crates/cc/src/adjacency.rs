@@ -1,0 +1,73 @@
+//! Abstraction over "something with numbered nodes and enumerable neighbors".
+//!
+//! Afforest needs positional neighbor access (its first phase links only the
+//! first `r` neighbors of each node, its final phase resumes *from* position
+//! `r`), so the trait exposes index-based access rather than just iteration.
+
+use et_graph::{CsrGraph, VertexId};
+
+/// Node-and-neighbor access used by the generic CC algorithms.
+pub trait Adjacency: Sync {
+    /// Number of nodes (labels run `0..num_nodes()`).
+    fn num_nodes(&self) -> usize;
+
+    /// Degree of node `u`.
+    fn degree(&self, u: usize) -> usize;
+
+    /// The `i`-th neighbor of `u` (`i < degree(u)`).
+    fn neighbor(&self, u: usize, i: usize) -> usize;
+
+    /// Calls `f` for every neighbor of `u` starting at neighbor index
+    /// `start` (a no-op if `start >= degree(u)`).
+    fn for_each_neighbor_from(&self, u: usize, start: usize, f: &mut dyn FnMut(usize)) {
+        for i in start..self.degree(u) {
+            f(self.neighbor(u, i));
+        }
+    }
+
+    /// Calls `f` for every neighbor of `u`.
+    fn for_each_neighbor(&self, u: usize, f: &mut dyn FnMut(usize)) {
+        self.for_each_neighbor_from(u, 0, f);
+    }
+}
+
+impl Adjacency for CsrGraph {
+    fn num_nodes(&self) -> usize {
+        self.num_vertices()
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        CsrGraph::degree(self, u as VertexId)
+    }
+
+    fn neighbor(&self, u: usize, i: usize) -> usize {
+        self.neighbors(u as VertexId)[i] as usize
+    }
+
+    fn for_each_neighbor_from(&self, u: usize, start: usize, f: &mut dyn FnMut(usize)) {
+        let row = self.neighbors(u as VertexId);
+        for &v in &row[start.min(row.len())..] {
+            f(v as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_graph::GraphBuilder;
+
+    #[test]
+    fn csr_adjacency() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).build();
+        assert_eq!(Adjacency::num_nodes(&g), 4);
+        assert_eq!(Adjacency::degree(&g, 0), 3);
+        assert_eq!(g.neighbor(0, 1), 2);
+        let mut seen = Vec::new();
+        g.for_each_neighbor_from(0, 1, &mut |v| seen.push(v));
+        assert_eq!(seen, vec![2, 3]);
+        seen.clear();
+        g.for_each_neighbor(3, &mut |v| seen.push(v));
+        assert_eq!(seen, vec![0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Sequential BFS connected components — the simplest possible oracle.
+//!
+//! Used as the ground truth every parallel algorithm is checked against, and
+//! as the "BFS variant" datapoint of the CC comparison bench (§3.1 notes its
+//! parallelism is limited by the number of components).
+
+use crate::Adjacency;
+use std::collections::VecDeque;
+
+/// Sequential BFS labeling; the label of a component is its smallest-id
+/// member (BFS is seeded in increasing id order).
+pub fn bfs_cc<A: Adjacency + ?Sized>(adj: &A) -> Vec<u32> {
+    let n = adj.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = start as u32;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            adj.for_each_neighbor(u, &mut |v| {
+                if labels[v] == u32::MAX {
+                    labels[v] = start as u32;
+                    queue.push_back(v);
+                }
+            });
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_graph::GraphBuilder;
+
+    #[test]
+    fn component_count() {
+        let g = GraphBuilder::from_edges(7, &[(0, 1), (2, 3), (3, 4)]).build();
+        let labels = bfs_cc(&g);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 4); // {0,1}, {2,3,4}, {5}, {6}
+    }
+
+    #[test]
+    fn labels_are_min_ids() {
+        let g = GraphBuilder::from_edges(4, &[(3, 1)]).build();
+        assert_eq!(bfs_cc(&g), vec![0, 1, 2, 1]);
+    }
+}

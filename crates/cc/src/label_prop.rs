@@ -1,0 +1,64 @@
+//! Min-label propagation connected components.
+//!
+//! The alternative §3.1 mentions (references [33, 50]): every node repeatedly
+//! adopts the minimum label in its closed neighborhood until fixpoint. Work
+//! O(|E| · D) — linear per round but diameter-dependent, which is exactly why
+//! the paper prefers SV/Afforest. Kept for the CC comparison bench.
+
+use crate::Adjacency;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Runs min-label propagation; returns component labels (the minimum node id
+/// of each component).
+pub fn label_propagation<A: Adjacency + ?Sized>(adj: &A) -> Vec<u32> {
+    let n = adj.num_nodes();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        (0..n).into_par_iter().for_each(|u| {
+            let mut best = labels[u].load(Ordering::Relaxed);
+            adj.for_each_neighbor(u, &mut |v| {
+                let lv = labels[v].load(Ordering::Relaxed);
+                if lv < best {
+                    best = lv;
+                }
+            });
+            if best < labels[u].load(Ordering::Relaxed) {
+                labels[u].store(best, Ordering::Relaxed);
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+    }
+    labels.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs_cc, same_partition};
+    use et_graph::GraphBuilder;
+
+    #[test]
+    fn label_is_min_member() {
+        let g = GraphBuilder::from_edges(6, &[(5, 3), (3, 4), (1, 2)]).build();
+        let labels = label_propagation(&g);
+        assert_eq!(labels[5], 3);
+        assert_eq!(labels[4], 3);
+        assert_eq!(labels[2], 1);
+        assert_eq!(labels[0], 0);
+    }
+
+    #[test]
+    fn matches_bfs() {
+        for seed in 0..5 {
+            let g = et_gen::gnm(120, 130, seed);
+            assert!(same_partition(&label_propagation(&g), &bfs_cc(&g)));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert!(label_propagation(&GraphBuilder::new(0).build()).is_empty());
+    }
+}

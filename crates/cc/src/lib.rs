@@ -1,0 +1,85 @@
+//! # et-cc — parallel connected components
+//!
+//! The paper's key observation is that EquiTruss supernode construction *is*
+//! a connected-components problem over edge entities. This crate provides the
+//! CC algorithms it builds on, generic over an [`Adjacency`] abstraction so
+//! the same code runs on ordinary vertex graphs (benchmarked directly in
+//! `benches/cc.rs`) while the edge-induced variants in `et-core` specialize
+//! the inner loops:
+//!
+//! * [`shiloach_vishkin`] — the classic CRCW hook/shortcut algorithm
+//!   (reference [39]); the paper's *Baseline*.
+//! * [`afforest`] — subgraph-sampling CC (Sutton, Ben-Nun & Barak, IPDPS
+//!   2018; reference [43]); the paper's best performer.
+//! * [`label_propagation`] and [`bfs_cc`] — the alternatives §3.1 considers
+//!   and rejects (diameter-dependent / limited parallelism), kept for the
+//!   comparison benches.
+//! * [`dsu`] — sequential and atomic (lock-free) union-find.
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod afforest;
+pub mod bfs;
+pub mod dsu;
+pub mod label_prop;
+pub mod shiloach_vishkin;
+
+pub use adjacency::Adjacency;
+pub use afforest::{afforest, AfforestConfig};
+pub use bfs::bfs_cc;
+pub use dsu::{atomic_find, atomic_link, AtomicDsu, DisjointSet};
+pub use label_prop::label_propagation;
+pub use shiloach_vishkin::shiloach_vishkin;
+
+/// Renumbers arbitrary component labels to dense ids `0..k` (in order of
+/// first appearance) and returns `(dense_labels, component_count)`.
+pub fn normalize_labels(labels: &[u32]) -> (Vec<u32>, usize) {
+    let mut map = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(labels.len());
+    for &l in labels {
+        let next = map.len() as u32;
+        let id = *map.entry(l).or_insert(next);
+        out.push(id);
+    }
+    (out, map.len())
+}
+
+/// Whether two labelings induce the same partition of `0..n`.
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd = std::collections::HashMap::new();
+    let mut bwd = std::collections::HashMap::new();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if *fwd.entry(x).or_insert(y) != y {
+            return false;
+        }
+        if *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_dense() {
+        let (labels, k) = normalize_labels(&[7, 7, 3, 7, 3, 9]);
+        assert_eq!(labels, vec![0, 0, 1, 0, 1, 2]);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn partition_equality() {
+        assert!(same_partition(&[0, 0, 1], &[5, 5, 2]));
+        assert!(!same_partition(&[0, 0, 1], &[5, 4, 2]));
+        assert!(!same_partition(&[0, 1, 1], &[5, 5, 2]));
+        assert!(!same_partition(&[0], &[0, 0]));
+        assert!(same_partition(&[], &[]));
+    }
+}

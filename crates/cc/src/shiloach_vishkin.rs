@@ -1,0 +1,101 @@
+//! Shiloach–Vishkin connected components (reference [39] of the paper).
+//!
+//! The CRCW hook-and-shortcut algorithm: rounds of conditional hooking
+//! (attach a root to a smaller-labeled neighbor component) followed by
+//! pointer-jumping shortcuts, until no hook fires. Work O(|E| log |V|), and —
+//! the property §3.1 highlights — independent of graph diameter.
+//!
+//! As in the paper (and the original), the hook phase has a **benign race**:
+//! concurrent hooks may overwrite each other, but every surviving pointer
+//! still points from a node to a node of a connected component it belongs
+//! to, so the fixpoint is correct.
+
+use crate::Adjacency;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Runs Shiloach–Vishkin over any [`Adjacency`]; returns root labels
+/// (fully shortcut, so `labels[u]` is the component representative).
+pub fn shiloach_vishkin<A: Adjacency + ?Sized>(adj: &A) -> Vec<u32> {
+    let n = adj.num_nodes();
+    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let hooking = AtomicBool::new(true);
+
+    while hooking.swap(false, Ordering::Relaxed) {
+        // Hooking phase: for every arc (u, v), if Π(u) < Π(v) and Π(v) is a
+        // root, hook it (mirrors Algorithm 2 ln. 15-20 of the paper).
+        (0..n).into_par_iter().for_each(|u| {
+            let pu = parent[u].load(Ordering::Relaxed);
+            adj.for_each_neighbor(u, &mut |v| {
+                let pv = parent[v].load(Ordering::Relaxed);
+                if pu < pv && parent[pv as usize].load(Ordering::Relaxed) == pv {
+                    parent[pv as usize].store(pu, Ordering::Relaxed);
+                    hooking.store(true, Ordering::Relaxed);
+                }
+            });
+        });
+
+        // Shortcut phase: pointer jumping until every node is depth ≤ 1.
+        (0..n).into_par_iter().for_each(|u| {
+            let mut p = parent[u].load(Ordering::Relaxed);
+            let mut gp = parent[p as usize].load(Ordering::Relaxed);
+            while p != gp {
+                parent[u].store(gp, Ordering::Relaxed);
+                p = gp;
+                gp = parent[p as usize].load(Ordering::Relaxed);
+            }
+        });
+    }
+
+    parent.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs_cc, same_partition};
+    use et_graph::GraphBuilder;
+
+    #[test]
+    fn two_components() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).build();
+        let labels = shiloach_vishkin(&g);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert_ne!(labels[5], labels[3]);
+    }
+
+    #[test]
+    fn labels_are_roots() {
+        let g = GraphBuilder::from_edges(5, &[(0, 4), (4, 2), (1, 3)]).build();
+        let labels = shiloach_vishkin(&g);
+        for &l in &labels {
+            assert_eq!(labels[l as usize], l, "label {l} is not a root");
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_random() {
+        for seed in 0..6 {
+            let g = et_gen::gnm(150, 160, seed); // sparse → many components
+            assert!(same_partition(&shiloach_vishkin(&g), &bfs_cc(&g)));
+        }
+    }
+
+    #[test]
+    fn long_path() {
+        // Diameter-independence sanity: a path of 1000 nodes converges.
+        let edges: Vec<(u32, u32)> = (0..999).map(|i| (i, i + 1)).collect();
+        let g = GraphBuilder::from_edges(1000, &edges).build();
+        let labels = shiloach_vishkin(&g);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn empty() {
+        let g = GraphBuilder::new(0).build();
+        assert!(shiloach_vishkin(&g).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! `equitruss` — build, persist, inspect, and query EquiTruss indexes.
+
+use et_cli::{cmd_build, cmd_generate, cmd_query, cmd_stats, parse_variant};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         equitruss generate <profile> [--scale F] -o <graph.{{txt|bin}}>\n  \
+         equitruss stats <graph>\n  \
+         equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
+         equitruss query <graph> <index.etidx> -v <vertex> -k <level>"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(raw: Vec<String>) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().unwrap_or_else(|| usage());
+            flags.insert(name.to_string(), value);
+        } else if a == "-o" || a == "-v" || a == "-k" {
+            let value = it.next().unwrap_or_else(|| usage());
+            flags.insert(a[1..].to_string(), value);
+        } else {
+            positional.push(a);
+        }
+    }
+    Args { positional, flags }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args(std::env::args().skip(1).collect());
+    if args.positional.is_empty() {
+        usage();
+    }
+    let get_flag = |name: &str| args.flags.get(name).cloned();
+    let require_flag = |name: &str| get_flag(name).unwrap_or_else(|| usage());
+
+    let result = match args.positional[0].as_str() {
+        "generate" => {
+            let profile = args.positional.get(1).unwrap_or_else(|| usage()).clone();
+            let scale: f64 = get_flag("scale")
+                .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(1.0);
+            cmd_generate(&profile, scale, &PathBuf::from(require_flag("o")))
+        }
+        "stats" => {
+            let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
+            cmd_stats(&PathBuf::from(graph))
+        }
+        "build" => {
+            let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
+            let variant = match get_flag("variant") {
+                Some(v) => match parse_variant(&v) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => et_core::Variant::Afforest,
+            };
+            cmd_build(&PathBuf::from(graph), &PathBuf::from(require_flag("o")), variant)
+        }
+        "query" => {
+            let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
+            let index = args.positional.get(2).unwrap_or_else(|| usage()).clone();
+            let v: u32 = require_flag("v").parse().unwrap_or_else(|_| usage());
+            let k: u32 = require_flag("k").parse().unwrap_or_else(|_| usage());
+            cmd_query(&PathBuf::from(graph), &PathBuf::from(index), v, k)
+        }
+        _ => usage(),
+    };
+
+    match result {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

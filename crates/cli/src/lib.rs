@@ -1,0 +1,245 @@
+//! # et-cli — the `equitruss` command-line tool
+//!
+//! End-user workflow over the library:
+//!
+//! ```text
+//! equitruss generate dblp --scale 0.5 -o graph.txt     # synthetic dataset
+//! equitruss stats graph.txt                            # graph + truss stats
+//! equitruss build graph.txt -o graph.etidx             # construct + persist
+//! equitruss query graph.txt graph.etidx -v 17 -k 4     # community search
+//! ```
+//!
+//! Command logic lives here (testable, returns rendered output); the binary
+//! is a thin argument parser.
+
+#![warn(missing_docs)]
+
+use et_core::{build_index, io as index_io, IndexStats, Variant};
+use et_graph::{io as graph_io, EdgeIndexedGraph, GraphStats};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CLI-level errors (message already user-formatted).
+pub type CliResult = Result<String, String>;
+
+/// Loads a graph from a text edge list (`.txt`) or binary (`.bin`) file.
+pub fn load_graph(path: &Path) -> Result<EdgeIndexedGraph, String> {
+    let g = if path.extension().is_some_and(|e| e == "bin") {
+        graph_io::read_binary(path).map_err(|e| format!("cannot load {}: {e}", path.display()))?
+    } else {
+        graph_io::read_text_edge_list(path)
+            .map_err(|e| format!("cannot load {}: {e}", path.display()))?
+            .build()
+    };
+    EdgeIndexedGraph::try_new(g).map_err(|e| format!("cannot index graph: {e}"))
+}
+
+/// Parses a variant name (`baseline` / `coptimal` / `afforest`).
+pub fn parse_variant(name: &str) -> Result<Variant, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(Variant::Baseline),
+        "coptimal" | "c-optimal" | "copt" => Ok(Variant::COptimal),
+        "afforest" | "aff" => Ok(Variant::Afforest),
+        other => Err(format!(
+            "unknown variant {other:?} (expected baseline | coptimal | afforest)"
+        )),
+    }
+}
+
+/// `generate <profile> [--scale F] -o <file>`: writes a synthetic dataset.
+pub fn cmd_generate(profile: &str, scale: f64, out: &Path) -> CliResult {
+    let p = et_gen::profile_by_name(profile).ok_or_else(|| {
+        format!(
+            "unknown profile {profile:?} (expected one of {})",
+            et_gen::PROFILE_NAMES.join(", ")
+        )
+    })?;
+    if scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    let g = p.generate(scale);
+    let result = if out.extension().is_some_and(|e| e == "bin") {
+        graph_io::write_binary(&g, out)
+    } else {
+        graph_io::write_text_edge_list(&g, out)
+    };
+    result.map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} edges)",
+        out.display(),
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+/// `stats <graph>`: prints graph, trussness, and index statistics.
+pub fn cmd_stats(graph_path: &Path) -> CliResult {
+    let graph = load_graph(graph_path)?;
+    let gs = GraphStats::compute(graph.graph());
+    let decomposition = et_truss::decompose_parallel(&graph);
+    let index = build_index(&graph, Variant::Afforest).index;
+    let is = IndexStats::compute(&index);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "graph     : {}", graph_path.display());
+    let _ = writeln!(
+        out,
+        "vertices  : {} ({} isolated)",
+        gs.num_vertices, gs.isolated_vertices
+    );
+    let _ = writeln!(
+        out,
+        "edges     : {} (max degree {}, avg {:.2})",
+        gs.num_edges, gs.max_degree, gs.avg_degree
+    );
+    let _ = writeln!(
+        out,
+        "trussness : max k = {}, classes {:?}",
+        decomposition.max_trussness,
+        decomposition.class_histogram()
+    );
+    let _ = writeln!(
+        out,
+        "index     : {} supernodes, {} superedges ({} indexed edges, compression {:.3})",
+        is.supernodes, is.superedges, is.indexed_edges, is.compression_ratio
+    );
+    let _ = writeln!(
+        out,
+        "supernodes: max size {}, avg size {:.1}, per level {:?}",
+        is.max_supernode_size, is.avg_supernode_size, is.supernodes_per_level
+    );
+    Ok(out)
+}
+
+/// `build <graph> -o <index> [--variant V]`: constructs and persists.
+pub fn cmd_build(graph_path: &Path, out: &Path, variant: Variant) -> CliResult {
+    let graph = load_graph(graph_path)?;
+    let t0 = std::time::Instant::now();
+    let decomposition = et_truss::decompose_parallel(&graph);
+    let mut timings = et_core::KernelTimings::default();
+    let index =
+        et_core::build_index_with_decomposition(&graph, &decomposition, variant, &mut timings);
+    let elapsed = t0.elapsed();
+    index_io::write_index(&index, &decomposition.trussness, out)
+        .map_err(|e| format!("cannot write index: {e}"))?;
+    Ok(format!(
+        "built {} index in {:.2?} (SpNode {:.2?}, SpEdge {:.2?}, SmGraph {:.2?})\n\
+         {} supernodes, {} superedges -> {}",
+        variant.name(),
+        elapsed,
+        timings.spnode,
+        timings.spedge,
+        timings.smgraph,
+        index.num_supernodes(),
+        index.num_superedges(),
+        out.display()
+    ))
+}
+
+/// `query <graph> <index> -v <vertex> -k <level>`: community search.
+pub fn cmd_query(graph_path: &Path, index_path: &Path, vertex: u32, k: u32) -> CliResult {
+    let graph = load_graph(graph_path)?;
+    let (index, trussness) =
+        index_io::read_index(index_path).map_err(|e| format!("cannot load index: {e}"))?;
+    if trussness.len() != graph.num_edges() {
+        return Err(format!(
+            "index was built for a graph with {} edges, this graph has {}",
+            trussness.len(),
+            graph.num_edges()
+        ));
+    }
+    let t0 = std::time::Instant::now();
+    let communities = et_community::query_communities(&graph, &index, vertex, k);
+    let elapsed = t0.elapsed();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "vertex {vertex} at k = {k}: {} community(ies) [{elapsed:.2?}]",
+        communities.len()
+    );
+    for (i, c) in communities.iter().enumerate() {
+        let m = et_community::community_metrics(&graph, c);
+        let _ = writeln!(
+            out,
+            "  #{i}: {} vertices, {} edges, density {:.3}, conductance {:.3}",
+            m.vertices, m.internal_edges, m.density, m.conductance
+        );
+        let members = c.vertices(&graph);
+        let shown: Vec<String> = members.iter().take(16).map(u32::to_string).collect();
+        let suffix = if members.len() > 16 { ", …" } else { "" };
+        let _ = writeln!(out, "      members: {}{suffix}", shown.join(", "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("et-cli-test");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmp_dir();
+        let graph = dir.join("g.txt");
+        let index = dir.join("g.etidx");
+
+        let msg = cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
+        assert!(msg.contains("vertices"));
+
+        let stats = cmd_stats(&graph).unwrap();
+        assert!(stats.contains("supernodes"));
+
+        let built = cmd_build(&graph, &index, Variant::Afforest).unwrap();
+        assert!(built.contains("Afforest"));
+
+        // Find a vertex with a community to query.
+        let g = load_graph(&graph).unwrap();
+        let q = (0..g.num_vertices() as u32)
+            .max_by_key(|&u| g.degree(u))
+            .unwrap();
+        let out = cmd_query(&graph, &index, q, 3).unwrap();
+        assert!(out.contains("community"));
+    }
+
+    #[test]
+    fn variant_parsing() {
+        assert_eq!(parse_variant("afforest").unwrap(), Variant::Afforest);
+        assert_eq!(parse_variant("C-Optimal").unwrap(), Variant::COptimal);
+        assert_eq!(parse_variant("BASELINE").unwrap(), Variant::Baseline);
+        assert!(parse_variant("quantum").is_err());
+    }
+
+    #[test]
+    fn generate_rejects_bad_inputs() {
+        let dir = tmp_dir();
+        assert!(cmd_generate("nope", 1.0, &dir.join("x.txt")).is_err());
+        assert!(cmd_generate("dblp", 0.0, &dir.join("x.txt")).is_err());
+    }
+
+    #[test]
+    fn query_rejects_mismatched_index() {
+        let dir = tmp_dir();
+        let g1 = dir.join("g1.txt");
+        let g2 = dir.join("g2.txt");
+        let idx = dir.join("g1.etidx");
+        cmd_generate("dblp", 1.0 / 64.0, &g1).unwrap();
+        cmd_generate("amazon", 1.0 / 64.0, &g2).unwrap();
+        cmd_build(&g1, &idx, Variant::COptimal).unwrap();
+        assert!(cmd_query(&g2, &idx, 0, 3).is_err());
+    }
+
+    #[test]
+    fn binary_graph_roundtrip_via_cli() {
+        let dir = tmp_dir();
+        let bin = dir.join("g.bin");
+        cmd_generate("amazon", 1.0 / 64.0, &bin).unwrap();
+        let g = load_graph(&bin).unwrap();
+        assert!(g.num_edges() > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Parallel batch queries.
+//!
+//! Online community search serves many concurrent queries; the index is
+//! read-only after construction, so queries parallelize embarrassingly with
+//! rayon — one more payoff of building the index up front.
+
+use crate::query::{query_communities, Community};
+use et_core::SuperGraph;
+use et_graph::{EdgeIndexedGraph, VertexId};
+use rayon::prelude::*;
+
+/// Answers `(vertex, k)` queries in parallel; `results[i]` corresponds to
+/// `queries[i]`.
+pub fn batch_query_communities(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    queries: &[(VertexId, u32)],
+) -> Vec<Vec<Community>> {
+    queries
+        .par_iter()
+        .map(|&(q, k)| query_communities(graph, index, q, k))
+        .collect()
+}
+
+/// Parallel membership histogram: for every vertex, the number of distinct
+/// k-truss communities it belongs to at level `k`. The overlap statistic of
+/// Figure 1 (right) — vertices with count ≥ 2 sit in overlapping
+/// communities.
+pub fn membership_counts(graph: &EdgeIndexedGraph, index: &SuperGraph, k: u32) -> Vec<usize> {
+    (0..graph.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|q| query_communities(graph, index, q, k).len())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_core::{build_index, Variant};
+    use et_gen::fixtures;
+
+    fn setup(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let idx = build_index(&eg, Variant::Afforest).index;
+        (eg, idx)
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let queries: Vec<(u32, u32)> = (0..11).flat_map(|q| [(q, 3), (q, 4), (q, 5)]).collect();
+        let batch = batch_query_communities(&eg, &idx, &queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, &(q, k)) in queries.iter().enumerate() {
+            assert_eq!(batch[i], query_communities(&eg, &idx, q, k), "q={q} k={k}");
+        }
+    }
+
+    #[test]
+    fn overlap_histogram() {
+        // Two K4s sharing vertex 0: only vertex 0 has two communities at 4.
+        let mut edges = Vec::new();
+        for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((c[i].min(c[j]), c[i].max(c[j])));
+                }
+            }
+        }
+        let (eg, idx) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
+        let counts = membership_counts(&eg, &idx, 4);
+        assert_eq!(counts[0], 2);
+        assert!(counts[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (eg, idx) = setup(fixtures::clique(4).graph.clone());
+        assert!(batch_query_communities(&eg, &idx, &[]).is_empty());
+    }
+}

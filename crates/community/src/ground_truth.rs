@@ -1,0 +1,121 @@
+//! Brute-force community finder, straight from Definition 7.
+//!
+//! Peels the maximal k-truss, unions edges over triangles lying inside it,
+//! and reports the edge components touching the query vertex. Quadratic-ish
+//! and oblivious to the index — the oracle the fast engines are tested
+//! against.
+
+use et_cc::DisjointSet;
+use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
+use et_triangle::for_each_triangle_of_edge;
+
+/// All k-truss communities containing `q`, each as a sorted edge-id list;
+/// communities sorted by smallest member edge. Computed directly from the
+/// trussness dictionary (which callers obtain from `et-truss`).
+pub fn brute_force_communities(
+    graph: &EdgeIndexedGraph,
+    trussness: &[u32],
+    q: VertexId,
+    k: u32,
+) -> Vec<Vec<EdgeId>> {
+    let m = graph.num_edges();
+    if k < 3 || (q as usize) >= graph.num_vertices() {
+        return Vec::new();
+    }
+    // Maximal k-truss edge set.
+    let alive: Vec<bool> = trussness.iter().map(|&t| t >= k).collect();
+
+    // Union over triangles inside the k-truss.
+    let mut dsu = DisjointSet::new(m);
+    for e in 0..m as u32 {
+        if !alive[e as usize] {
+            continue;
+        }
+        let mut partners = Vec::new();
+        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+            if alive[e1 as usize] && alive[e2 as usize] {
+                partners.push(e1);
+                partners.push(e2);
+            }
+        });
+        for p in partners {
+            dsu.union(e, p);
+        }
+    }
+
+    // Roots of q's alive incident edges. Note: an edge of the k-truss that
+    // lies in *no* triangle of the k-truss cannot be part of any k-truss
+    // community (k ≥ 3 requires triangle connectivity), but in a maximal
+    // k-truss with k ≥ 3 every edge has ≥ k−2 ≥ 1 triangles, so this does
+    // not occur.
+    let mut roots: Vec<u32> = graph
+        .neighbors_with_eids(q)
+        .filter(|&(_, e)| alive[e as usize])
+        .map(|(_, e)| dsu.find(e))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+
+    let mut communities: Vec<Vec<EdgeId>> = roots
+        .iter()
+        .map(|&root| {
+            (0..m as u32)
+                .filter(|&e| alive[e as usize] && dsu.find(e) == root)
+                .collect()
+        })
+        .collect();
+    communities.sort_by_key(|c| c.first().copied().unwrap_or(EdgeId::MAX));
+    communities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::query_communities;
+    use et_core::build_original;
+    use et_gen::fixtures;
+    use et_truss::decompose_serial;
+
+    fn check_agreement(graph: et_graph::CsrGraph, label: &str) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let d = decompose_serial(&eg);
+        let idx = build_original(&eg, &d.trussness);
+        let kmax = d.max_trussness.max(3);
+        for q in (0..eg.num_vertices() as u32).step_by(1.max(eg.num_vertices() / 40)) {
+            for k in 3..=kmax {
+                let fast: Vec<Vec<EdgeId>> = query_communities(&eg, &idx, q, k)
+                    .into_iter()
+                    .map(|c| c.edges)
+                    .collect();
+                let brute = brute_force_communities(&eg, &d.trussness, q, k);
+                assert_eq!(fast, brute, "{label}: q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_query_matches_brute_force_on_fixtures() {
+        for f in fixtures::all_fixtures() {
+            check_agreement(f.graph.clone(), f.name);
+        }
+    }
+
+    #[test]
+    fn index_query_matches_brute_force_on_random() {
+        for seed in 0..3 {
+            check_agreement(et_gen::gnm(60, 320, seed), "gnm");
+        }
+        check_agreement(
+            et_gen::overlapping_cliques(120, 25, (3, 6), 50, 9),
+            "collab",
+        );
+    }
+
+    #[test]
+    fn out_of_range_inputs() {
+        let eg = EdgeIndexedGraph::new(fixtures::clique(4).graph.clone());
+        let d = decompose_serial(&eg);
+        assert!(brute_force_communities(&eg, &d.trussness, 9, 3).is_empty());
+        assert!(brute_force_communities(&eg, &d.trussness, 0, 2).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! K-core community baseline.
+//!
+//! The paper's introduction argues k-core local communities "lack cohesion"
+//! (citing Cohen's truss report): a k-core guarantees only vertex degree,
+//! not triangle density, so k-core communities admit loosely-attached
+//! members that a k-truss rejects. This module implements the baseline so
+//! the claim is measurable (the harness `quality` experiment and the
+//! `cohesion_comparison` example compare the two).
+
+use et_graph::ordering::core_numbers;
+use et_graph::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// A k-core community: the connected component of the k-core containing the
+/// query vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KCoreCommunity {
+    /// The degree threshold k.
+    pub k: u32,
+    /// Member vertices (sorted).
+    pub vertices: Vec<VertexId>,
+}
+
+/// Precomputed k-core index: core numbers per vertex.
+pub struct KCoreIndex {
+    core: Vec<u32>,
+}
+
+impl KCoreIndex {
+    /// Computes core numbers for `graph`.
+    pub fn build(graph: &CsrGraph) -> Self {
+        KCoreIndex {
+            core: core_numbers(graph),
+        }
+    }
+
+    /// Core number of `v`.
+    pub fn core_of(&self, v: VertexId) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// The k-core community of `q`: the connected component containing q of
+    /// the subgraph induced by vertices with core number ≥ k. `None` if
+    /// core(q) < k.
+    pub fn community(&self, graph: &CsrGraph, q: VertexId, k: u32) -> Option<KCoreCommunity> {
+        if (q as usize) >= graph.num_vertices() || self.core[q as usize] < k {
+            return None;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::from([q]);
+        seen.insert(q);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                if self.core[v as usize] >= k && seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut vertices: Vec<VertexId> = seen.into_iter().collect();
+        vertices.sort_unstable();
+        Some(KCoreCommunity { k, vertices })
+    }
+
+    /// The largest k at which `q` has a k-core community (its core number),
+    /// or `None` for isolated vertices.
+    pub fn max_level(&self, q: VertexId) -> Option<u32> {
+        match self.core.get(q as usize) {
+            Some(&c) if c > 0 => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_graph::GraphBuilder;
+
+    /// The canonical "free rider" shape: a K4 with a pendant path attached.
+    /// At k = 2, the k-core keeps a chordless cycle glued to the clique —
+    /// members a 4-truss community would reject.
+    fn clique_with_cycle() -> CsrGraph {
+        let mut b = GraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        // Triangle-free cycle 3-4-5-6-7-3: every vertex degree ≥ 2.
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        b.add_edge(5, 6);
+        b.add_edge(6, 7);
+        b.add_edge(7, 3);
+        b.build()
+    }
+
+    #[test]
+    fn core_community_includes_low_cohesion_members() {
+        let g = clique_with_cycle();
+        let idx = KCoreIndex::build(&g);
+        let c = idx.community(&g, 0, 2).unwrap();
+        // The 2-core keeps the whole graph — including the triangle-free
+        // cycle vertices 4..7 that no truss community would admit.
+        assert_eq!(c.vertices, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn high_k_core_shrinks_to_clique() {
+        let g = clique_with_cycle();
+        let idx = KCoreIndex::build(&g);
+        let c = idx.community(&g, 0, 3).unwrap();
+        assert_eq!(c.vertices, vec![0, 1, 2, 3]);
+        assert!(idx.community(&g, 5, 3).is_none());
+    }
+
+    #[test]
+    fn max_level_is_core_number() {
+        let g = clique_with_cycle();
+        let idx = KCoreIndex::build(&g);
+        assert_eq!(idx.max_level(0), Some(3));
+        assert_eq!(idx.max_level(5), Some(2));
+        let g2 = GraphBuilder::new(2).build();
+        let idx2 = KCoreIndex::build(&g2);
+        assert_eq!(idx2.max_level(0), None);
+    }
+
+    #[test]
+    fn out_of_range_queries() {
+        let g = clique_with_cycle();
+        let idx = KCoreIndex::build(&g);
+        assert!(idx.community(&g, 99, 2).is_none());
+        assert!(idx.community(&g, 0, 10).is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # et-community — k-truss-based local community search
+//!
+//! The *consumer* side of the EquiTruss index: given a query vertex q and a
+//! cohesion level k, return every k-truss community containing q
+//! (Definition 7) — the goal-oriented, overlapping community search the
+//! paper's introduction motivates (Figure 1, right).
+//!
+//! Three independent engines, used to cross-validate each other:
+//!
+//! * [`query::query_communities`] — supergraph traversal over the EquiTruss
+//!   index (the intended fast path; each community is a union of supernodes
+//!   reachable through supernodes of trussness ≥ k),
+//! * [`tcp::TcpIndex`] — the TCP-Index of Huang et al. (SIGMOD 2014;
+//!   reference [22]), the prior state of the art EquiTruss improves on:
+//!   per-vertex maximum spanning forests over triangle-weighted neighbor
+//!   graphs,
+//! * [`ground_truth::brute_force_communities`] — peel-and-union directly
+//!   from the definitions.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod ground_truth;
+pub mod kcore;
+pub mod membership;
+pub mod metrics;
+pub mod query;
+pub mod tcp;
+
+pub use batch::{batch_query_communities, membership_counts};
+pub use kcore::{KCoreCommunity, KCoreIndex};
+pub use membership::CommunityIndex;
+pub use metrics::{community_metrics, vertex_set_metrics, CommunityMetrics};
+pub use query::{community_of_edge, query_communities, strongest_communities, Community};
+pub use tcp::TcpIndex;

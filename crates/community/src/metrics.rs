@@ -1,0 +1,188 @@
+//! Community quality metrics.
+//!
+//! The paper's introduction contrasts k-truss communities with k-core and
+//! modularity/conductance-optimizing methods on *cohesion* grounds. These
+//! metrics let applications (and our tests) quantify that: edge density,
+//! minimum internal degree, and conductance of a returned community.
+
+use crate::query::Community;
+use et_graph::{EdgeIndexedGraph, VertexId};
+
+/// Quality metrics of one community within its host graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityMetrics {
+    /// Number of member vertices.
+    pub vertices: usize,
+    /// Number of internal edges.
+    pub internal_edges: usize,
+    /// Edges leaving the community (one endpoint inside, one outside).
+    pub boundary_edges: usize,
+    /// Internal edge density: edges / (n·(n−1)/2).
+    pub density: f64,
+    /// Minimum internal degree over member vertices.
+    pub min_internal_degree: usize,
+    /// Conductance: boundary / (boundary + 2·internal) — lower is more
+    /// separated from the rest of the graph.
+    pub conductance: f64,
+}
+
+/// Computes quality metrics of `community` inside `graph`.
+pub fn community_metrics(graph: &EdgeIndexedGraph, community: &Community) -> CommunityMetrics {
+    let members: Vec<VertexId> = community.vertices(graph);
+    let inside = |v: VertexId| members.binary_search(&v).is_ok();
+
+    let internal_edges = community.edges.len();
+    let mut internal_degree: std::collections::HashMap<VertexId, usize> =
+        members.iter().map(|&v| (v, 0)).collect();
+    for &e in &community.edges {
+        let (u, v) = graph.endpoints(e);
+        *internal_degree.get_mut(&u).expect("endpoint is member") += 1;
+        *internal_degree.get_mut(&v).expect("endpoint is member") += 1;
+    }
+    let mut boundary_edges = 0usize;
+    for &v in &members {
+        for &w in graph.neighbors(v) {
+            if !inside(w) {
+                boundary_edges += 1;
+            }
+        }
+    }
+    let n = members.len();
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    CommunityMetrics {
+        vertices: n,
+        internal_edges,
+        boundary_edges,
+        density: if possible == 0 {
+            0.0
+        } else {
+            internal_edges as f64 / possible as f64
+        },
+        min_internal_degree: internal_degree.values().copied().min().unwrap_or(0),
+        conductance: if boundary_edges + 2 * internal_edges == 0 {
+            0.0
+        } else {
+            boundary_edges as f64 / (boundary_edges + 2 * internal_edges) as f64
+        },
+    }
+}
+
+/// Metrics of an arbitrary vertex set, over its induced subgraph — used to
+/// score baselines (like k-core communities) that are defined by vertex
+/// membership rather than edge membership.
+pub fn vertex_set_metrics(graph: &EdgeIndexedGraph, vertices: &[VertexId]) -> CommunityMetrics {
+    let mut members = vertices.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    let inside = |v: VertexId| members.binary_search(&v).is_ok();
+
+    let mut internal_edges = 0usize;
+    let mut boundary_edges = 0usize;
+    let mut min_internal_degree = usize::MAX;
+    for &v in &members {
+        let mut internal_deg = 0usize;
+        for &w in graph.neighbors(v) {
+            if inside(w) {
+                internal_deg += 1;
+            } else {
+                boundary_edges += 1;
+            }
+        }
+        internal_edges += internal_deg;
+        min_internal_degree = min_internal_degree.min(internal_deg);
+    }
+    internal_edges /= 2; // each internal edge counted from both endpoints
+    let n = members.len();
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    CommunityMetrics {
+        vertices: n,
+        internal_edges,
+        boundary_edges,
+        density: if possible == 0 {
+            0.0
+        } else {
+            internal_edges as f64 / possible as f64
+        },
+        min_internal_degree: if n == 0 { 0 } else { min_internal_degree },
+        conductance: if boundary_edges + 2 * internal_edges == 0 {
+            0.0
+        } else {
+            boundary_edges as f64 / (boundary_edges + 2 * internal_edges) as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::query_communities;
+    use et_core::build_original;
+    use et_gen::fixtures;
+    use et_truss::decompose_serial;
+
+    fn community_at(graph: et_graph::CsrGraph, q: u32, k: u32) -> (EdgeIndexedGraph, Community) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        let c = query_communities(&eg, &idx, q, k)
+            .into_iter()
+            .next()
+            .expect("community exists");
+        (eg, c)
+    }
+
+    #[test]
+    fn isolated_clique_is_perfect() {
+        let (eg, c) = community_at(fixtures::clique(5).graph.clone(), 0, 5);
+        let m = community_metrics(&eg, &c);
+        assert_eq!(m.vertices, 5);
+        assert_eq!(m.internal_edges, 10);
+        assert_eq!(m.boundary_edges, 0);
+        assert!((m.density - 1.0).abs() < 1e-12);
+        assert_eq!(m.min_internal_degree, 4);
+        assert_eq!(m.conductance, 0.0);
+    }
+
+    #[test]
+    fn embedded_clique_has_boundary() {
+        // The paper example's K5 at k = 5: edges (2,6), (2,8), (5,7), (5,10),
+        // (5,6), (3,6), (4,6) cross the boundary.
+        let (eg, c) = community_at(fixtures::paper_example().graph.clone(), 9, 5);
+        let m = community_metrics(&eg, &c);
+        assert_eq!(m.vertices, 5);
+        assert_eq!(m.internal_edges, 10);
+        assert_eq!(m.boundary_edges, 7);
+        assert!(m.conductance > 0.0 && m.conductance < 0.5);
+        assert!((m.density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_set_metrics_match_edge_metrics_on_closed_sets() {
+        // For a community whose vertex set induces exactly its edges, both
+        // metric paths must agree.
+        let (eg, c) = community_at(fixtures::clique(5).graph.clone(), 0, 5);
+        let by_edges = community_metrics(&eg, &c);
+        let by_vertices = vertex_set_metrics(&eg, &c.vertices(&eg));
+        assert_eq!(by_edges, by_vertices);
+    }
+
+    #[test]
+    fn vertex_set_metrics_empty_and_singleton() {
+        let eg = EdgeIndexedGraph::new(fixtures::clique(4).graph.clone());
+        let empty = vertex_set_metrics(&eg, &[]);
+        assert_eq!(empty.vertices, 0);
+        assert_eq!(empty.min_internal_degree, 0);
+        let single = vertex_set_metrics(&eg, &[0]);
+        assert_eq!(single.vertices, 1);
+        assert_eq!(single.internal_edges, 0);
+        assert_eq!(single.boundary_edges, 3);
+    }
+
+    #[test]
+    fn k_truss_guarantees_min_degree() {
+        // Every vertex of a k-truss community has internal degree ≥ k−1.
+        let (eg, c) = community_at(fixtures::paper_example().graph.clone(), 5, 4);
+        let m = community_metrics(&eg, &c);
+        assert!(m.min_internal_degree >= 3, "k-1 degree bound violated");
+    }
+}

@@ -1,0 +1,310 @@
+//! Community retrieval from the EquiTruss index.
+//!
+//! A k-truss community containing q is exactly the union of the supernodes
+//! reachable — through supernodes of trussness ≥ k — from a supernode that
+//! holds an edge incident to q with trussness ≥ k (Akbas & Zhao's query
+//! algorithm). One BFS per distinct seed component; no trussness
+//! recomputation, no edge-level traversal.
+
+use et_core::SuperGraph;
+use et_graph::view::{edge_subgraph, Subgraph};
+use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
+
+/// One k-truss community of a query vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Community {
+    /// The cohesion level of the query that produced this community.
+    pub k: u32,
+    /// The supernodes whose union forms the community (sorted).
+    pub supernodes: Vec<u32>,
+    /// All member edge ids (sorted).
+    pub edges: Vec<EdgeId>,
+}
+
+impl Community {
+    /// The distinct vertices spanned by the community's edges (sorted).
+    pub fn vertices(&self, graph: &EdgeIndexedGraph) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = Vec::with_capacity(self.edges.len() * 2);
+        for &e in &self.edges {
+            let (u, v) = graph.endpoints(e);
+            vs.push(u);
+            vs.push(v);
+        }
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Materializes the community as a standalone subgraph with an id map
+    /// back to the original graph.
+    pub fn subgraph(&self, graph: &EdgeIndexedGraph) -> Subgraph {
+        edge_subgraph(graph, &self.edges)
+    }
+}
+
+/// Returns every k-truss community containing `q`, for `k ≥ 3`.
+///
+/// Communities are returned sorted by their smallest member edge id, so the
+/// output is deterministic and comparable across engines.
+pub fn query_communities(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    q: VertexId,
+    k: u32,
+) -> Vec<Community> {
+    if k < 3 || (q as usize) >= graph.num_vertices() {
+        return Vec::new();
+    }
+    // Seed supernodes: containers of q's incident edges at trussness ≥ k.
+    let mut seeds: Vec<u32> = graph
+        .neighbors_with_eids(q)
+        .filter_map(|(_, e)| index.supernode_of(e))
+        .filter(|&sn| index.trussness(sn) >= k)
+        .collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+
+    let mut visited = vec![false; index.num_supernodes()];
+    let mut communities = Vec::new();
+    for &seed in &seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        // BFS across supernodes of trussness ≥ k.
+        let mut queue = std::collections::VecDeque::from([seed]);
+        visited[seed as usize] = true;
+        let mut supernodes = Vec::new();
+        while let Some(sn) = queue.pop_front() {
+            supernodes.push(sn);
+            for &nb in index.neighbors(sn) {
+                if !visited[nb as usize] && index.trussness(nb) >= k {
+                    visited[nb as usize] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        supernodes.sort_unstable();
+        let mut edges: Vec<EdgeId> = supernodes
+            .iter()
+            .flat_map(|&sn| index.members(sn).iter().copied())
+            .collect();
+        edges.sort_unstable();
+        communities.push(Community {
+            k,
+            supernodes,
+            edges,
+        });
+    }
+    communities.sort_by_key(|c| c.edges.first().copied().unwrap_or(EdgeId::MAX));
+    communities
+}
+
+/// The k-truss community containing a specific *edge* at level `k`, if the
+/// edge belongs to one (τ(e) ≥ k ≥ 3). Edge-centric queries are the natural
+/// primitive when the "entity of interest" is a relationship rather than a
+/// vertex.
+pub fn community_of_edge(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    e: EdgeId,
+    k: u32,
+) -> Option<Community> {
+    if k < 3 || (e as usize) >= graph.num_edges() {
+        return None;
+    }
+    let seed = index.supernode_of(e)?;
+    if index.trussness(seed) < k {
+        return None;
+    }
+    let mut visited = vec![false; index.num_supernodes()];
+    let mut queue = std::collections::VecDeque::from([seed]);
+    visited[seed as usize] = true;
+    let mut supernodes = Vec::new();
+    while let Some(sn) = queue.pop_front() {
+        supernodes.push(sn);
+        for &nb in index.neighbors(sn) {
+            if !visited[nb as usize] && index.trussness(nb) >= k {
+                visited[nb as usize] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    supernodes.sort_unstable();
+    let mut edges: Vec<EdgeId> = supernodes
+        .iter()
+        .flat_map(|&sn| index.members(sn).iter().copied())
+        .collect();
+    edges.sort_unstable();
+    Some(Community {
+        k,
+        supernodes,
+        edges,
+    })
+}
+
+/// The communities of `q` at its personal maximum cohesion level — "the
+/// tightest circles this vertex belongs to". Empty if q touches no
+/// trussness-≥3 edge.
+pub fn strongest_communities(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    q: VertexId,
+) -> Vec<Community> {
+    match max_query_level(graph, index, q) {
+        Some(k) => query_communities(graph, index, q, k),
+        None => Vec::new(),
+    }
+}
+
+/// The largest k for which `q` participates in any k-truss community
+/// (i.e. the maximum trussness over q's incident edges), or `None` if q has
+/// no edge of trussness ≥ 3.
+pub fn max_query_level(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    q: VertexId,
+) -> Option<u32> {
+    if (q as usize) >= graph.num_vertices() {
+        return None;
+    }
+    graph
+        .neighbors_with_eids(q)
+        .filter_map(|(_, e)| index.supernode_of(e))
+        .map(|sn| index.trussness(sn))
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_core::{build_original, SuperGraph};
+    use et_gen::fixtures;
+    use et_truss::decompose_serial;
+
+    fn setup(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        (eg, idx)
+    }
+
+    #[test]
+    fn paper_example_vertex0_k4() {
+        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        // Vertex 0 at k = 4: its 4-truss community is ν1 ∪ ν3 if they are
+        // connected via trussness ≥ 4 supernodes. ν1 and ν3 are only
+        // connected through ν0/ν2 (k = 3), so they are separate communities —
+        // but only ν1 contains an edge incident to vertex 0.
+        let cs = query_communities(&eg, &idx, 0, 4);
+        assert_eq!(cs.len(), 1);
+        let vs = cs[0].vertices(&eg);
+        assert_eq!(vs, vec![0, 1, 2, 3]);
+        assert_eq!(cs[0].edges.len(), 6);
+    }
+
+    #[test]
+    fn paper_example_vertex5_k4_reaches_k5_clique() {
+        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        // Vertex 5's edges at trussness ≥ 4 live in ν3 (k=4); ν3 has a
+        // superedge to ν4 (k=5 ≥ 4), so the community is ν3 ∪ ν4.
+        let cs = query_communities(&eg, &idx, 5, 4);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].edges.len(), 8 + 10);
+        let vs = cs[0].vertices(&eg);
+        assert_eq!(vs, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn paper_example_vertex2_k3_is_whole_graph() {
+        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        // At k = 3 everything is triangle-connected through ν0/ν2.
+        let cs = query_communities(&eg, &idx, 2, 3);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].edges.len(), 27);
+    }
+
+    #[test]
+    fn vertex_with_no_truss_edges() {
+        let (eg, idx) = setup(fixtures::bipartite(3, 3).graph.clone());
+        assert!(query_communities(&eg, &idx, 0, 3).is_empty());
+        assert_eq!(max_query_level(&eg, &idx, 0), None);
+    }
+
+    #[test]
+    fn k_above_max_returns_empty() {
+        let (eg, idx) = setup(fixtures::clique(5).graph.clone());
+        assert!(query_communities(&eg, &idx, 0, 6).is_empty());
+        assert_eq!(cs_len(&eg, &idx, 0, 5), 1);
+        assert_eq!(max_query_level(&eg, &idx, 0), Some(5));
+    }
+
+    fn cs_len(eg: &EdgeIndexedGraph, idx: &SuperGraph, q: u32, k: u32) -> usize {
+        query_communities(eg, idx, q, k).len()
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let (eg, idx) = setup(fixtures::clique(4).graph.clone());
+        assert!(query_communities(&eg, &idx, 0, 2).is_empty());
+        assert!(query_communities(&eg, &idx, 99, 3).is_empty());
+        assert_eq!(max_query_level(&eg, &idx, 99), None);
+    }
+
+    #[test]
+    fn overlapping_membership() {
+        // Two K4s sharing vertex 0 but no edge: vertex 0 belongs to two
+        // distinct 4-truss communities (the overlap of Figure 1, right).
+        let mut edges = Vec::new();
+        for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((c[i].min(c[j]), c[i].max(c[j])));
+                }
+            }
+        }
+        let (eg, idx) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
+        let cs = query_communities(&eg, &idx, 0, 4);
+        assert_eq!(cs.len(), 2, "vertex 0 must be in two overlapping communities");
+        for c in &cs {
+            assert_eq!(c.edges.len(), 6);
+            assert!(c.vertices(&eg).contains(&0));
+        }
+    }
+
+    #[test]
+    fn edge_query_matches_vertex_query() {
+        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        // Edge (6,7) lives in the K5; its community at k = 4 must equal the
+        // k = 4 community found from vertex 6.
+        let e = eg.edge_id(6, 7).unwrap();
+        let ec = community_of_edge(&eg, &idx, e, 4).unwrap();
+        let vc = query_communities(&eg, &idx, 6, 4);
+        assert!(vc.iter().any(|c| c.edges == ec.edges));
+        // Below its trussness class nothing changes; above, None.
+        assert!(community_of_edge(&eg, &idx, e, 5).is_some());
+        assert!(community_of_edge(&eg, &idx, e, 6).is_none());
+        assert!(community_of_edge(&eg, &idx, e, 2).is_none());
+        assert!(community_of_edge(&eg, &idx, 9999, 3).is_none());
+    }
+
+    #[test]
+    fn strongest_communities_use_max_level() {
+        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let best = strongest_communities(&eg, &idx, 6);
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].k, 5);
+        assert_eq!(best[0].edges.len(), 10);
+        // Truss-free vertex: empty.
+        let (eg2, idx2) = setup(fixtures::bipartite(3, 3).graph.clone());
+        assert!(strongest_communities(&eg2, &idx2, 0).is_empty());
+    }
+
+    #[test]
+    fn community_subgraph_roundtrip() {
+        let (eg, idx) = setup(fixtures::clique(5).graph.clone());
+        let cs = query_communities(&eg, &idx, 0, 5);
+        let sub = cs[0].subgraph(&eg);
+        assert_eq!(sub.graph.num_vertices(), 5);
+        assert_eq!(sub.graph.num_edges(), 10);
+    }
+}

@@ -1,0 +1,197 @@
+//! Afforest EquiTruss SpNode — sampling-based edge-entity CC (§3.3).
+//!
+//! Adapts Afforest (Sutton et al., reference [43]) to the edge-induced graph
+//! of one Φ_k group, on top of the C-Optimal data layout:
+//!
+//! 1. **neighbor rounds** — each edge lock-free-links to its first `r`
+//!    same-trussness triangle partners; the enumeration *early-exits* after
+//!    `r` links, so this pass touches only a subgraph;
+//! 2. **sampling** — the most frequent component among a random sample of
+//!    Φ_k estimates the giant component;
+//! 3. **finish** — only edges outside the giant component enumerate their
+//!    full triangle-partner lists.
+//!
+//! Against SV, which re-enumerates every triangle once *per hooking round*,
+//! Afforest enumerates non-giant edges once and giant edges barely at all —
+//! the Fig. 5 speedup.
+
+use et_cc::{atomic_find, atomic_link};
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::{for_each_triangle_of_edge, for_each_truss_triangle_of_edge};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Tuning knobs of the edge-entity Afforest.
+#[derive(Clone, Copy, Debug)]
+pub struct AfforestSpNodeConfig {
+    /// Triangle-partner rounds linked eagerly (Afforest's `r`; default 2).
+    pub neighbor_rounds: usize,
+    /// Sample size used to estimate the giant component per Φ_k group.
+    pub sample_size: usize,
+    /// Sampling seed (affects only how much work phase 3 skips, never the
+    /// resulting components).
+    pub seed: u64,
+}
+
+impl Default for AfforestSpNodeConfig {
+    fn default() -> Self {
+        AfforestSpNodeConfig {
+            neighbor_rounds: 2,
+            sample_size: 1024,
+            seed: 0xAFF0,
+        }
+    }
+}
+
+/// Runs Afforest supernode construction for one Φ_k group over the shared
+/// atomic Π array.
+pub fn spnode_group_afforest(
+    graph: &EdgeIndexedGraph,
+    trussness: &[u32],
+    k: u32,
+    phi_k: &[EdgeId],
+    parent: &[AtomicU32],
+    config: AfforestSpNodeConfig,
+) {
+    if phi_k.is_empty() {
+        return;
+    }
+    let r = config.neighbor_rounds;
+
+    // Phase 1: link the first r same-k triangle partners of every edge.
+    phi_k.par_iter().for_each(|&e| {
+        let mut linked = 0usize;
+        for_each_truss_triangle_of_edge(graph, trussness, k, e, |_, e1, e2| {
+            if linked >= r {
+                return; // early exit: partner budget exhausted
+            }
+            for &ei in &[e1, e2] {
+                if linked < r && trussness[ei as usize] == k {
+                    atomic_link(parent, e, ei);
+                    linked += 1;
+                }
+            }
+        });
+    });
+    compress_group(parent, phi_k);
+
+    // Phase 2: estimate the giant component from a sample of Φ_k.
+    let giant = sample_giant(parent, phi_k, config.sample_size, config.seed ^ k as u64);
+
+    // Phase 3: finish edges outside the giant component with their full
+    // partner lists. (Triangles are enumerated unfiltered and the trussness
+    // test applied inline, exactly like the hooking loops.)
+    phi_k.par_iter().for_each(|&e| {
+        if atomic_find(parent, e) == giant {
+            return;
+        }
+        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+            if trussness[e1 as usize] < k || trussness[e2 as usize] < k {
+                return;
+            }
+            for &ei in &[e1, e2] {
+                if trussness[ei as usize] == k {
+                    atomic_link(parent, e, ei);
+                }
+            }
+        });
+    });
+    compress_group(parent, phi_k);
+}
+
+/// Parallel path compression restricted to one Φ_k group.
+fn compress_group(parent: &[AtomicU32], phi_k: &[EdgeId]) {
+    phi_k.par_iter().for_each(|&e| {
+        let root = atomic_find(parent, e);
+        parent[e as usize].store(root, Ordering::Relaxed);
+    });
+}
+
+/// Most frequent root among `sample_size` random members of Φ_k.
+fn sample_giant(parent: &[AtomicU32], phi_k: &[EdgeId], sample_size: usize, seed: u64) -> u32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for _ in 0..sample_size.max(1) {
+        let e = phi_k[rng.gen_range(0..phi_k.len())];
+        *counts.entry(atomic_find(parent, e)).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(root, c)| (c, std::cmp::Reverse(root)))
+        .map(|(root, _)| root)
+        .expect("sample is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coptimal::spnode_group_coptimal;
+    use crate::phi::PhiGroups;
+    use et_truss::decompose_serial;
+
+    fn run_afforest(eg: &EdgeIndexedGraph, tau: &[u32], cfg: AfforestSpNodeConfig) -> Vec<u32> {
+        let phi = PhiGroups::build(tau);
+        let parent: Vec<AtomicU32> = (0..eg.num_edges() as u32).map(AtomicU32::new).collect();
+        for (k, group) in phi.iter() {
+            spnode_group_afforest(eg, tau, k, group, &parent, cfg);
+        }
+        parent.into_iter().map(|a| a.into_inner()).collect()
+    }
+
+    fn run_coptimal(eg: &EdgeIndexedGraph, tau: &[u32]) -> Vec<u32> {
+        let phi = PhiGroups::build(tau);
+        let parent: Vec<AtomicU32> = (0..eg.num_edges() as u32).map(AtomicU32::new).collect();
+        for (k, group) in phi.iter() {
+            spnode_group_coptimal(eg, tau, k, group, &parent);
+        }
+        parent.into_iter().map(|a| a.into_inner()).collect()
+    }
+
+    #[test]
+    fn matches_coptimal_on_fixtures() {
+        for f in et_gen::fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            let tau = decompose_serial(&eg).trussness;
+            let a = run_afforest(&eg, &tau, AfforestSpNodeConfig::default());
+            let b = run_coptimal(&eg, &tau);
+            assert!(et_cc::same_partition(&a, &b), "fixture {}", f.name);
+        }
+    }
+
+    #[test]
+    fn config_sweep_agrees() {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(200, 40, (3, 7), 80, 7));
+        let tau = decompose_serial(&g).trussness;
+        let reference = run_coptimal(&g, &tau);
+        for rounds in [1, 2, 3] {
+            for sample in [1, 64, 4096] {
+                let cfg = AfforestSpNodeConfig {
+                    neighbor_rounds: rounds,
+                    sample_size: sample,
+                    seed: 99,
+                };
+                assert!(
+                    et_cc::same_partition(&run_afforest(&g, &tau, cfg), &reference),
+                    "rounds={rounds} sample={sample}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_agree() {
+        for seed in 0..5 {
+            let g = EdgeIndexedGraph::new(et_gen::gnm(120, 800, seed));
+            let tau = decompose_serial(&g).trussness;
+            assert!(
+                et_cc::same_partition(
+                    &run_afforest(&g, &tau, AfforestSpNodeConfig::default()),
+                    &run_coptimal(&g, &tau)
+                ),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Baseline EquiTruss SpNode — Shiloach–Vishkin over edge entities
+//! (Algorithm 2 of the paper), with dictionary-based edge lookups.
+//!
+//! This is the paper's first parallel design. Its two deliberately-kept
+//! inefficiencies (both removed by the C-Optimal variant, §3.3):
+//!
+//! 1. trussness and edge-id lookups go through a *global edge dictionary* —
+//!    a binary search over all m packed edges per lookup, the Rust-safe
+//!    analog of the original's hashmap over the entire edge set;
+//! 2. every hooking round re-enumerates the common-neighbor lists, and no
+//!    Π-equality skip is applied before the root check.
+
+use et_graph::packed::pack_edge;
+use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
+use et_triangle::intersect::merge_intersect_into;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// The Baseline's "dictionary of edges": packed `(u, v)` keys in edge-id
+/// order (lexicographic, hence sorted), searched with binary search. The
+/// found position *is* the edge id, which then indexes the value arrays —
+/// mirroring a hashmap keyed by edge with O(log m) probe cost.
+pub struct EdgeDict {
+    keys: Vec<u64>,
+}
+
+impl EdgeDict {
+    /// Builds the dictionary from the endpoint table.
+    pub fn build(graph: &EdgeIndexedGraph) -> Self {
+        let keys: Vec<u64> = graph
+            .endpoint_table()
+            .iter()
+            .map(|&(u, v)| pack_edge(u, v))
+            .collect();
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        EdgeDict { keys }
+    }
+
+    /// Edge id of `{u, v}` via global binary search.
+    #[inline]
+    pub fn lookup(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.keys
+            .binary_search(&pack_edge(u, v))
+            .ok()
+            .map(|i| i as EdgeId)
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Runs SV hooking/shortcut rounds for one Φ_k group, updating `parent`
+/// (Π). Only edges of trussness exactly `k` hook, and only through
+/// triangles lying in the maximal k-truss (k-triangle connectivity).
+pub fn spnode_group_baseline(
+    graph: &EdgeIndexedGraph,
+    dict: &EdgeDict,
+    trussness: &[u32],
+    k: u32,
+    phi_k: &[EdgeId],
+    parent: &[AtomicU32],
+) {
+    let hooking = AtomicBool::new(true);
+    while hooking.swap(false, Ordering::Relaxed) {
+        // Hooking phase (Algorithm 2 ln. 10–20).
+        phi_k.par_iter().for_each_init(Vec::new, |ws, &e| {
+            let (u, v) = graph.endpoints(e);
+            // "Compute a list of all common neighbors W" (ln. 11): the
+            // Baseline intersects raw neighbor lists, then resolves each
+            // triangle edge through the dictionary.
+            ws.clear();
+            merge_intersect_into(graph.neighbors(u), graph.neighbors(v), ws);
+            let pe = parent[e as usize].load(Ordering::Relaxed);
+            for &w in ws.iter() {
+                let e1 = dict.lookup(u, w).expect("triangle edge must exist");
+                let e2 = dict.lookup(v, w).expect("triangle edge must exist");
+                let (k1, k2) = (trussness[e1 as usize], trussness[e2 as usize]);
+                if k1 < k || k2 < k {
+                    continue; // triangle not inside the k-truss
+                }
+                for &(ei, ki) in &[(e1, k1), (e2, k2)] {
+                    if ki != k {
+                        continue;
+                    }
+                    // SV conditional hook (ln. 15–20): Π(e) < Π(e_i) and
+                    // Π(e_i) is a root. Benign race as in the paper.
+                    let pi = parent[ei as usize].load(Ordering::Relaxed);
+                    if pe < pi && parent[pi as usize].load(Ordering::Relaxed) == pi {
+                        parent[pi as usize].store(pe, Ordering::Relaxed);
+                        hooking.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+
+        // Shortcut phase (ln. 21–23): pointer jumping.
+        phi_k.par_iter().for_each(|&e| {
+            let i = e as usize;
+            let mut p = parent[i].load(Ordering::Relaxed);
+            let mut gp = parent[p as usize].load(Ordering::Relaxed);
+            while p != gp {
+                parent[i].store(gp, Ordering::Relaxed);
+                p = gp;
+                gp = parent[p as usize].load(Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_gen::fixtures;
+    use et_truss::decompose_serial;
+
+    #[test]
+    fn dict_lookups() {
+        let f = fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let dict = EdgeDict::build(&eg);
+        assert_eq!(dict.len(), 27);
+        assert!(!dict.is_empty());
+        for (e, u, v) in eg.edges() {
+            assert_eq!(dict.lookup(u, v), Some(e));
+            assert_eq!(dict.lookup(v, u), Some(e));
+        }
+        assert_eq!(dict.lookup(0, 10), None);
+    }
+
+    #[test]
+    fn spnode_groups_paper_example() {
+        let f = fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let dict = EdgeDict::build(&eg);
+        let phi = crate::phi::PhiGroups::build(&tau);
+        let parent: Vec<AtomicU32> = (0..eg.num_edges() as u32).map(AtomicU32::new).collect();
+        for (k, group) in phi.iter() {
+            spnode_group_baseline(&eg, &dict, &tau, k, group, &parent);
+        }
+        // The five expected supernodes must each share one root.
+        for (_, edges) in fixtures::paper_example_supernodes() {
+            let roots: std::collections::HashSet<u32> = edges
+                .iter()
+                .map(|&(u, v)| {
+                    let e = eg.edge_id(u, v).unwrap();
+                    parent[e as usize].load(Ordering::Relaxed)
+                })
+                .collect();
+            assert_eq!(roots.len(), 1, "supernode split: {edges:?}");
+        }
+        // And distinct supernodes must have distinct roots.
+        let all_roots: std::collections::HashSet<u32> = fixtures::paper_example_supernodes()
+            .iter()
+            .map(|(_, edges)| {
+                let (u, v) = edges[0];
+                let e = eg.edge_id(u, v).unwrap();
+                parent[e as usize].load(Ordering::Relaxed)
+            })
+            .collect();
+        assert_eq!(all_roots.len(), 5);
+    }
+}

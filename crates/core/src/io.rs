@@ -1,0 +1,283 @@
+//! Index persistence: save/load the EquiTruss summary graph.
+//!
+//! The whole point of an index is to build once and query many times across
+//! sessions, so the supergraph (plus the trussness dictionary it was built
+//! from) round-trips through a compact little-endian binary format. The
+//! format embeds array lengths and a magic/version header; loads are
+//! validated structurally before use.
+
+use crate::index::SuperGraph;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ETIDXv01";
+
+/// Errors from index (de)serialization.
+#[derive(Debug)]
+pub enum IndexIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not an index file or is structurally inconsistent.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IndexIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexIoError::Io(e) => write!(f, "i/o error: {e}"),
+            IndexIoError::Corrupt(m) => write!(f, "corrupt index file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexIoError {}
+
+impl From<std::io::Error> for IndexIoError {
+    fn from(e: std::io::Error) -> Self {
+        IndexIoError::Io(e)
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), IndexIoError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> Result<(), IndexIoError> {
+    write_u64(w, s.len() as u64)?;
+    for &x in s {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_usize_slice<W: Write>(w: &mut W, s: &[usize]) -> Result<(), IndexIoError> {
+    write_u64(w, s.len() as u64)?;
+    for &x in s {
+        w.write_all(&(x as u64).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IndexIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u32>, IndexIoError> {
+    let len = read_u64(r)?;
+    if len > cap {
+        return Err(IndexIoError::Corrupt(format!(
+            "array length {len} exceeds sanity cap {cap}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut b = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(u32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+fn read_usize_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<usize>, IndexIoError> {
+    let len = read_u64(r)?;
+    if len > cap {
+        return Err(IndexIoError::Corrupt(format!(
+            "array length {len} exceeds sanity cap {cap}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        out.push(read_u64(r)? as usize);
+    }
+    Ok(out)
+}
+
+/// Sanity cap for array lengths read from disk (1 billion entries).
+const LEN_CAP: u64 = 1 << 30;
+
+/// Writes the index (and the trussness dictionary) to `path`.
+pub fn write_index<P: AsRef<Path>>(
+    index: &SuperGraph,
+    trussness: &[u32],
+    path: P,
+) -> Result<(), IndexIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    write_u32_slice(&mut w, trussness)?;
+    write_u32_slice(&mut w, &index.sn_trussness)?;
+    write_usize_slice(&mut w, &index.sn_offsets)?;
+    write_u32_slice(&mut w, &index.sn_members)?;
+    write_u32_slice(&mut w, &index.edge_supernode)?;
+    write_u64(&mut w, index.superedges.len() as u64)?;
+    for &(a, b) in &index.superedges {
+        w.write_all(&a.to_le_bytes())?;
+        w.write_all(&b.to_le_bytes())?;
+    }
+    write_usize_slice(&mut w, &index.adj_offsets)?;
+    write_u32_slice(&mut w, &index.adj_targets)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads an index written by [`write_index`]; returns `(index, trussness)`.
+pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Vec<u32>), IndexIoError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IndexIoError::Corrupt("bad magic".into()));
+    }
+    let trussness = read_u32_vec(&mut r, LEN_CAP)?;
+    let sn_trussness = read_u32_vec(&mut r, LEN_CAP)?;
+    let sn_offsets = read_usize_vec(&mut r, LEN_CAP)?;
+    let sn_members = read_u32_vec(&mut r, LEN_CAP)?;
+    let edge_supernode = read_u32_vec(&mut r, LEN_CAP)?;
+    let n_se = read_u64(&mut r)?;
+    if n_se > LEN_CAP {
+        return Err(IndexIoError::Corrupt("superedge count".into()));
+    }
+    let mut superedges = Vec::with_capacity(n_se as usize);
+    let mut b = [0u8; 4];
+    for _ in 0..n_se {
+        r.read_exact(&mut b)?;
+        let a = u32::from_le_bytes(b);
+        r.read_exact(&mut b)?;
+        superedges.push((a, u32::from_le_bytes(b)));
+    }
+    let adj_offsets = read_usize_vec(&mut r, LEN_CAP)?;
+    let adj_targets = read_u32_vec(&mut r, LEN_CAP)?;
+
+    let index = SuperGraph {
+        sn_trussness,
+        sn_offsets,
+        sn_members,
+        edge_supernode,
+        superedges,
+        adj_offsets,
+        adj_targets,
+    };
+    validate_loaded(&index, &trussness)?;
+    Ok((index, trussness))
+}
+
+/// Structural sanity after a load — rejects truncated or tampered files.
+fn validate_loaded(index: &SuperGraph, trussness: &[u32]) -> Result<(), IndexIoError> {
+    let num_sn = index.sn_trussness.len();
+    let corrupt = |m: &str| Err(IndexIoError::Corrupt(m.to_string()));
+    if index.sn_offsets.len() != num_sn + 1 || index.adj_offsets.len() != num_sn + 1 {
+        return corrupt("offset array length");
+    }
+    if index.edge_supernode.len() != trussness.len() {
+        return corrupt("edge_supernode / trussness length mismatch");
+    }
+    if *index.sn_offsets.last().unwrap_or(&0) != index.sn_members.len() {
+        return corrupt("member offsets do not cover members");
+    }
+    if *index.adj_offsets.last().unwrap_or(&0) != index.adj_targets.len() {
+        return corrupt("adjacency offsets do not cover targets");
+    }
+    if index
+        .superedges
+        .iter()
+        .any(|&(a, b)| a as usize >= num_sn || b as usize >= num_sn)
+    {
+        return corrupt("superedge endpoint out of range");
+    }
+    if index
+        .sn_members
+        .iter()
+        .any(|&e| e as usize >= trussness.len())
+    {
+        return corrupt("member edge id out of range");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_index, Variant};
+    use et_graph::EdgeIndexedGraph;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("et-core-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(120, 25, (3, 6), 40, 2));
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let built = build_index(&g, Variant::Afforest).index;
+
+        let path = tmp("roundtrip.etidx");
+        write_index(&built, &tau, &path).unwrap();
+        let (loaded, tau2) = read_index(&path).unwrap();
+        assert_eq!(tau, tau2);
+        assert_eq!(built.sn_trussness, loaded.sn_trussness);
+        assert_eq!(built.sn_offsets, loaded.sn_offsets);
+        assert_eq!(built.sn_members, loaded.sn_members);
+        assert_eq!(built.edge_supernode, loaded.edge_supernode);
+        assert_eq!(built.superedges, loaded.superedges);
+        assert_eq!(built.adj_offsets, loaded.adj_offsets);
+        assert_eq!(built.adj_targets, loaded.adj_targets);
+        loaded.check_structure(&g).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("garbage.etidx");
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        assert!(matches!(
+            read_index(&path),
+            Err(IndexIoError::Corrupt(_)) | Err(IndexIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = EdgeIndexedGraph::new(et_gen::fixtures::paper_example().graph.clone());
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let built = build_index(&g, Variant::COptimal).index;
+        let path = tmp("trunc.etidx");
+        write_index(&built, &tau, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop the file at several points; every prefix must be rejected.
+        for cut in [9, bytes.len() / 2, bytes.len() - 3] {
+            let path2 = tmp("trunc2.etidx");
+            std::fs::write(&path2, &bytes[..cut]).unwrap();
+            assert!(read_index(&path2).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_member_ids() {
+        let g = EdgeIndexedGraph::new(et_gen::fixtures::paper_example().graph.clone());
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let mut built = build_index(&g, Variant::COptimal).index;
+        built.sn_members[0] = 10_000; // out of range edge id
+        let path = tmp("tamper.etidx");
+        write_index(&built, &tau, &path).unwrap();
+        assert!(matches!(
+            read_index(&path),
+            Err(IndexIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn queries_work_after_reload() {
+        let g = EdgeIndexedGraph::new(et_gen::fixtures::paper_example().graph.clone());
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let built = build_index(&g, Variant::Baseline).index;
+        let path = tmp("query.etidx");
+        write_index(&built, &tau, &path).unwrap();
+        let (loaded, _) = read_index(&path).unwrap();
+        assert_eq!(loaded.canonical(), built.canonical());
+    }
+}

@@ -1,0 +1,46 @@
+//! # et-core — Parallel EquiTruss index construction
+//!
+//! The paper's contribution: building the **EquiTruss summary graph**
+//! G(V, E) — supernodes are maximal sets of k-triangle-connected edges of
+//! equal trussness (Definition 8), superedges connect triangle-adjacent
+//! supernodes of different trussness (Definition 9) — *in parallel*, by
+//! recasting supernode construction as connected components over edge
+//! entities.
+//!
+//! Four constructions, exactly mirroring Table 2 of the paper:
+//!
+//! | paper name            | here                              |
+//! |-----------------------|-----------------------------------|
+//! | Original EquiTruss    | [`original::build_original`] — serial BFS (Algorithm 1) |
+//! | Baseline EquiTruss    | [`pipeline::Variant::Baseline`] — Shiloach–Vishkin edge-CC with dictionary lookups (Algorithm 2) |
+//! | C-Optimal EquiTruss   | [`pipeline::Variant::COptimal`] — CSR-aligned trussness, contiguous Π, skip rule (§3.3) |
+//! | Afforest EquiTruss    | [`pipeline::Variant::Afforest`] — sampling CC on the edge graph (§3.3) |
+//!
+//! All four produce canonically identical indexes (the paper reports 100%
+//! accuracy agreement); [`validate`] checks this plus the definitional
+//! invariants, and [`pipeline::build_index`] instruments the kernel timings
+//! of Fig. 4/8 (Support, Init, SpNode, SpEdge, SmGraph, SpNodeRemap).
+
+#![warn(missing_docs)]
+
+pub mod afforest;
+pub mod baseline;
+pub mod coptimal;
+pub mod index;
+pub mod io;
+pub mod original;
+pub mod phi;
+pub mod pipeline;
+pub mod remap;
+pub mod smgraph;
+pub mod stats;
+pub mod spedge;
+pub mod timings;
+pub mod validate;
+
+pub use index::{SuperGraph, NO_SUPERNODE};
+pub use stats::IndexStats;
+pub use original::build_original;
+pub use phi::PhiGroups;
+pub use pipeline::{build_index, build_index_with_decomposition, IndexBuild, Variant};
+pub use timings::KernelTimings;

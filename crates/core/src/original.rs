@@ -1,0 +1,174 @@
+//! Original EquiTruss — faithful serial port of Algorithm 1 (Akbas & Zhao).
+//!
+//! BFS-based supernode construction: for ascending k, each unprocessed edge
+//! of Φ_k seeds a supernode, grown by BFS over k-triangle connectivity.
+//! Higher-trussness edges touched along the way record the supernode id in
+//! their `list`; when such an edge is later processed inside its own
+//! supernode, those recorded ids become superedges (ln. 17–19).
+//!
+//! This implementation plays the role of the paper's "Akbas et al." Java
+//! comparator in Table 4 and is the accuracy reference the parallel variants
+//! are checked against.
+
+use crate::index::{SuperGraph, NO_SUPERNODE};
+use crate::phi::PhiGroups;
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::for_each_truss_triangle_of_edge;
+use std::collections::VecDeque;
+
+/// Builds the EquiTruss index serially with Algorithm 1.
+///
+/// `trussness` must be the τ dictionary of `graph` (one entry per edge id).
+pub fn build_original(graph: &EdgeIndexedGraph, trussness: &[u32]) -> SuperGraph {
+    assert_eq!(trussness.len(), graph.num_edges());
+    let m = graph.num_edges();
+    let phi = PhiGroups::build(trussness);
+
+    let mut processed = vec![false; m];
+    // e.list of Algorithm 1: lower-k supernodes triangle-adjacent to e.
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut edge_supernode = vec![NO_SUPERNODE; m];
+    let mut sn_trussness: Vec<u32> = Vec::new();
+    let mut superedges: Vec<(u32, u32)> = Vec::new();
+    let mut queue: VecDeque<EdgeId> = VecDeque::new();
+
+    for (k, group) in phi.iter() {
+        for &seed in group {
+            if processed[seed as usize] {
+                continue;
+            }
+            // ln. 9–13: new supernode, BFS from the seed.
+            let sn = sn_trussness.len() as u32;
+            sn_trussness.push(k);
+            processed[seed as usize] = true;
+            queue.push_back(seed);
+
+            while let Some(e) = queue.pop_front() {
+                edge_supernode[e as usize] = sn;
+                // ln. 17–19: flush e's recorded lower supernodes.
+                for &id in &lists[e as usize] {
+                    superedges.push((id, sn));
+                }
+                lists[e as usize] = Vec::new(); // free as we go
+
+                // ln. 20–23: expand over k-triangles.
+                for_each_truss_triangle_of_edge(graph, trussness, k, e, |_, e1, e2| {
+                    for &f in &[e1, e2] {
+                        let fi = f as usize;
+                        if trussness[fi] == k {
+                            // ProcessEdge, same-k branch (ln. 26–29).
+                            if !processed[fi] {
+                                processed[fi] = true;
+                                queue.push_back(f);
+                            }
+                        } else {
+                            // ProcessEdge, higher-k branch (ln. 30–32).
+                            debug_assert!(trussness[fi] > k);
+                            if !lists[fi].contains(&sn) {
+                                lists[fi].push(sn);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    SuperGraph::assemble(m, edge_supernode, sn_trussness, superedges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_gen::fixtures;
+    use et_graph::GraphBuilder;
+    use et_truss::decompose_serial;
+
+    fn build(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        idx.check_structure(&eg).unwrap();
+        (eg, idx)
+    }
+
+    #[test]
+    fn paper_example_supernodes_and_superedges() {
+        let f = fixtures::paper_example();
+        let (eg, idx) = build(f.graph.clone());
+        assert_eq!(idx.num_supernodes(), 5);
+        assert_eq!(idx.num_superedges(), 6);
+
+        // Match each expected supernode by member set.
+        let expected = fixtures::paper_example_supernodes();
+        let mut expected_to_actual = vec![u32::MAX; expected.len()];
+        for (i, (k, edges)) in expected.iter().enumerate() {
+            let mut eids: Vec<EdgeId> = edges
+                .iter()
+                .map(|&(u, v)| eg.edge_id(u, v).unwrap())
+                .collect();
+            eids.sort_unstable();
+            let sn = (0..idx.num_supernodes() as u32)
+                .find(|&sn| idx.members(sn) == eids.as_slice())
+                .unwrap_or_else(|| panic!("expected supernode ν{i} not found"));
+            assert_eq!(idx.trussness(sn), *k, "ν{i} trussness");
+            expected_to_actual[i] = sn;
+        }
+
+        // Superedges must match the paper's six, under the matching above.
+        let mut expected_se: Vec<(u32, u32)> = fixtures::paper_example_superedges()
+            .into_iter()
+            .map(|(a, b)| {
+                let (x, y) = (expected_to_actual[a], expected_to_actual[b]);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        expected_se.sort_unstable();
+        assert_eq!(idx.superedges, expected_se);
+    }
+
+    #[test]
+    fn clique_is_single_supernode() {
+        let f = fixtures::clique(6);
+        let (_, idx) = build(f.graph.clone());
+        assert_eq!(idx.num_supernodes(), 1);
+        assert_eq!(idx.num_superedges(), 0);
+        assert_eq!(idx.members(0).len(), 15);
+        assert_eq!(idx.trussness(0), 6);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_empty_index() {
+        let f = fixtures::bipartite(3, 4);
+        let (_, idx) = build(f.graph.clone());
+        assert_eq!(idx.num_supernodes(), 0);
+        assert_eq!(idx.num_superedges(), 0);
+        assert!(idx.edge_supernode.iter().all(|&sn| sn == NO_SUPERNODE));
+    }
+
+    #[test]
+    fn disjoint_cliques_are_separate_supernodes() {
+        let f = fixtures::clique_chain(3, 4);
+        let (_, idx) = build(f.graph.clone());
+        // 3 cliques of trussness 4; bridges unindexed.
+        assert_eq!(idx.num_supernodes(), 3);
+        assert_eq!(idx.num_superedges(), 0);
+        assert!(idx.sn_trussness.iter().all(|&k| k == 4));
+    }
+
+    #[test]
+    fn two_shared_cliques_merge() {
+        let f = fixtures::two_cliques_shared_edge();
+        let (_, idx) = build(f.graph.clone());
+        // All edges trussness 5, and the shared edge makes them 5-triangle
+        // connected → one supernode.
+        assert_eq!(idx.num_supernodes(), 1);
+        assert_eq!(idx.members(0).len(), 19);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (_, idx) = build(GraphBuilder::new(4).build());
+        assert_eq!(idx.num_supernodes(), 0);
+    }
+}

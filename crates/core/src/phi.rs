@@ -1,0 +1,117 @@
+//! Φ_k grouping — the *Init* kernel.
+//!
+//! Algorithm 2 (ln. 3–5) groups the edge set into subsets Φ_k by trussness;
+//! the SpNode / SpEdge kernels then iterate k = k_min … k_max over these
+//! groups. Edges with trussness 2 (no triangle) are not indexed (k_min ≥ 3,
+//! Algorithm 1 ln. 7).
+
+use et_graph::EdgeId;
+use rayon::prelude::*;
+
+/// Edge ids grouped by trussness, for k in `3..=max_trussness`.
+#[derive(Clone, Debug)]
+pub struct PhiGroups {
+    groups: Vec<Vec<EdgeId>>, // index 0 ↔ k = 3
+    max_trussness: u32,
+}
+
+impl PhiGroups {
+    /// Groups edges by their trussness (parallel counting sort).
+    pub fn build(trussness: &[u32]) -> Self {
+        let kmax = trussness.par_iter().copied().max().unwrap_or(0);
+        if kmax < 3 {
+            return PhiGroups {
+                groups: Vec::new(),
+                max_trussness: kmax,
+            };
+        }
+        let nk = (kmax - 2) as usize;
+        let mut groups: Vec<Vec<EdgeId>> = vec![Vec::new(); nk];
+        // Count then fill keeps each group sorted by edge id (deterministic).
+        let mut counts = vec![0usize; nk];
+        for &t in trussness {
+            if t >= 3 {
+                counts[(t - 3) as usize] += 1;
+            }
+        }
+        for (g, &c) in groups.iter_mut().zip(counts.iter()) {
+            g.reserve_exact(c);
+        }
+        for (e, &t) in trussness.iter().enumerate() {
+            if t >= 3 {
+                groups[(t - 3) as usize].push(e as EdgeId);
+            }
+        }
+        PhiGroups {
+            groups,
+            max_trussness: kmax,
+        }
+    }
+
+    /// Largest trussness in the graph (may be 2 or 0; then no groups exist).
+    pub fn max_trussness(&self) -> u32 {
+        self.max_trussness
+    }
+
+    /// Φ_k for `k ≥ 3` (empty slice if out of range).
+    pub fn phi(&self, k: u32) -> &[EdgeId] {
+        if k < 3 || k > self.max_trussness {
+            return &[];
+        }
+        &self.groups[(k - 3) as usize]
+    }
+
+    /// Iterates `(k, Φ_k)` in ascending k with non-empty groups only.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[EdgeId])> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(i, g)| (i as u32 + 3, g.as_slice()))
+    }
+
+    /// Total number of indexed edges (trussness ≥ 3).
+    pub fn indexed_edges(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_trussness() {
+        let tau = vec![2, 3, 5, 3, 2, 5, 4];
+        let phi = PhiGroups::build(&tau);
+        assert_eq!(phi.max_trussness(), 5);
+        assert_eq!(phi.phi(3), &[1, 3]);
+        assert_eq!(phi.phi(4), &[6]);
+        assert_eq!(phi.phi(5), &[2, 5]);
+        assert_eq!(phi.phi(2), &[] as &[EdgeId]);
+        assert_eq!(phi.phi(6), &[] as &[EdgeId]);
+        assert_eq!(phi.indexed_edges(), 5);
+    }
+
+    #[test]
+    fn iter_skips_empty_levels() {
+        let tau = vec![3, 6];
+        let phi = PhiGroups::build(&tau);
+        let ks: Vec<u32> = phi.iter().map(|(k, _)| k).collect();
+        assert_eq!(ks, vec![3, 6]);
+    }
+
+    #[test]
+    fn all_trussness_two() {
+        let phi = PhiGroups::build(&[2, 2, 2]);
+        assert_eq!(phi.indexed_edges(), 0);
+        assert_eq!(phi.iter().count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let phi = PhiGroups::build(&[]);
+        assert_eq!(phi.max_trussness(), 0);
+        assert_eq!(phi.indexed_edges(), 0);
+    }
+}

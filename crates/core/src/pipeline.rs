@@ -1,0 +1,188 @@
+//! End-to-end parallel EquiTruss pipelines with kernel timing.
+//!
+//! Orchestrates the paper's kernels in order — Support, TrussDecomp, Init,
+//! then per ascending k: SpNode + SpEdge (Algorithms 2 and 3 "invoked
+//! consecutively upon the same Φ_k set"), then SmGraph (Algorithm 4) and
+//! SpNodeRemap — recording per-kernel wall time for the Fig. 4/8 breakdowns.
+
+use crate::afforest::{spnode_group_afforest, AfforestSpNodeConfig};
+use crate::baseline::{spnode_group_baseline, EdgeDict};
+use crate::coptimal::spnode_group_coptimal;
+use crate::index::SuperGraph;
+use crate::phi::PhiGroups;
+use crate::smgraph::merge_supergraph;
+use crate::spedge::{spedge_group, RootPair};
+use crate::timings::{timed, KernelTimings};
+use et_graph::EdgeIndexedGraph;
+use et_truss::TrussDecomposition;
+use std::sync::atomic::AtomicU32;
+
+/// Which parallel construction to run (Table 2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Shiloach–Vishkin with dictionary lookups.
+    Baseline,
+    /// Cache-optimized SV (CSR trussness, contiguous Π, skip rule).
+    COptimal,
+    /// Afforest on the edge-induced graph.
+    Afforest,
+}
+
+impl Variant {
+    /// All variants in the paper's presentation order.
+    pub const ALL: [Variant; 3] = [Variant::Baseline, Variant::COptimal, Variant::Afforest];
+
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Baseline => "Baseline",
+            Variant::COptimal => "C-Optimal",
+            Variant::Afforest => "Afforest",
+        }
+    }
+}
+
+/// A constructed index plus its kernel timings.
+#[derive(Clone, Debug)]
+pub struct IndexBuild {
+    /// The EquiTruss summary graph.
+    pub index: SuperGraph,
+    /// Per-kernel wall-clock times.
+    pub timings: KernelTimings,
+}
+
+/// Full pipeline: Support → parallel truss decomposition → index
+/// construction with the chosen variant.
+pub fn build_index(graph: &EdgeIndexedGraph, variant: Variant) -> IndexBuild {
+    let mut timings = KernelTimings::default();
+    let support = timed(&mut timings.support, || {
+        et_triangle::compute_support(graph)
+    });
+    let decomposition = timed(&mut timings.truss_decomp, || {
+        et_truss::parallel::decompose_parallel_with_support(graph, support)
+    });
+    let index = build_index_with_decomposition(graph, &decomposition, variant, &mut timings);
+    IndexBuild { index, timings }
+}
+
+/// Index construction given a precomputed trussness dictionary; kernel times
+/// are *added* to `timings` (Support/TrussDecomp slots untouched).
+pub fn build_index_with_decomposition(
+    graph: &EdgeIndexedGraph,
+    decomposition: &TrussDecomposition,
+    variant: Variant,
+    timings: &mut KernelTimings,
+) -> SuperGraph {
+    let m = graph.num_edges();
+    let tau = &decomposition.trussness;
+
+    // Init kernel: Π ← identity (Algorithm 2 ln. 1–2), Φ_k grouping
+    // (ln. 3–5), and the Baseline's dictionary when needed.
+    let (parent, phi, dict) = timed(&mut timings.init, || {
+        let parent: Vec<AtomicU32> = (0..m as u32).map(AtomicU32::new).collect();
+        let phi = PhiGroups::build(tau);
+        let dict = match variant {
+            Variant::Baseline => Some(EdgeDict::build(graph)),
+            _ => None,
+        };
+        (parent, phi, dict)
+    });
+
+    // Per-k: SpNode then SpEdge on the same Φ_k.
+    let mut subsets: Vec<Vec<RootPair>> = Vec::new();
+    for (k, group) in phi.iter() {
+        timed(&mut timings.spnode, || match variant {
+            Variant::Baseline => {
+                let dict = dict.as_ref().expect("dictionary built for Baseline");
+                spnode_group_baseline(graph, dict, tau, k, group, &parent);
+            }
+            Variant::COptimal => spnode_group_coptimal(graph, tau, k, group, &parent),
+            Variant::Afforest => spnode_group_afforest(
+                graph,
+                tau,
+                k,
+                group,
+                &parent,
+                AfforestSpNodeConfig::default(),
+            ),
+        });
+        timed(&mut timings.spedge, || {
+            spedge_group(graph, tau, k, group, &parent, &mut subsets);
+        });
+    }
+
+    // SmGraph merge (Algorithm 4).
+    let merged = timed(&mut timings.smgraph, || {
+        merge_supergraph(&subsets, rayon::current_num_threads())
+    });
+
+    // Dense renumbering + assembly.
+    timed(&mut timings.spnode_remap, || {
+        crate::remap::remap_and_assemble(m, &parent, &merged, &phi)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::original::build_original;
+    use et_truss::decompose_serial;
+
+    fn check_all_variants_match_original(graph: et_graph::CsrGraph, label: &str) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let tau = decompose_serial(&eg);
+        let reference = build_original(&eg, &tau.trussness).canonical();
+        for variant in Variant::ALL {
+            let mut t = KernelTimings::default();
+            let idx = build_index_with_decomposition(&eg, &tau, variant, &mut t);
+            idx.check_structure(&eg).unwrap();
+            assert_eq!(
+                idx.canonical(),
+                reference,
+                "{label}: {} disagrees with Original",
+                variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_match_original_on_fixtures() {
+        for f in et_gen::fixtures::all_fixtures() {
+            check_all_variants_match_original(f.graph.clone(), f.name);
+        }
+    }
+
+    #[test]
+    fn variants_match_original_on_random_graphs() {
+        for seed in 0..4 {
+            check_all_variants_match_original(et_gen::gnm(90, 600, seed), "gnm");
+        }
+    }
+
+    #[test]
+    fn variants_match_original_on_collaboration() {
+        check_all_variants_match_original(
+            et_gen::overlapping_cliques(250, 50, (3, 8), 120, 11),
+            "collab",
+        );
+    }
+
+    #[test]
+    fn full_pipeline_records_timings() {
+        let eg = EdgeIndexedGraph::new(et_gen::overlapping_cliques(120, 25, (3, 6), 40, 3));
+        let build = build_index(&eg, Variant::Afforest);
+        assert!(build.index.num_supernodes() > 0);
+        assert!(build.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_example_counts() {
+        let f = et_gen::fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        for variant in Variant::ALL {
+            let build = build_index(&eg, variant);
+            assert_eq!(build.index.num_supernodes(), 5, "{}", variant.name());
+            assert_eq!(build.index.num_superedges(), 6, "{}", variant.name());
+        }
+    }
+}

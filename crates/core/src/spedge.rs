@@ -1,0 +1,130 @@
+//! SpEdge — parallel superedge creation (Algorithm 3).
+//!
+//! For each edge e of the current Φ_k set, every triangle through e is
+//! examined; when e's trussness k strictly exceeds the triangle's minimum
+//! trussness, a superedge is recorded from the supernode of the minimum edge
+//! up to the supernode of e ("create superedge downward", ln. 9–12). Each
+//! parallel job appends into its own subset — the thread-local
+//! `sp_edges[tid]` of the paper — so no synchronization is needed; the
+//! subsets are merged later by Algorithm 4 (see [`crate::smgraph`]).
+
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::for_each_triangle_of_edge;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A superedge candidate: `(Π-root of the lower-trussness supernode,
+/// Π-root of the higher-trussness supernode)`. Roots are edge ids; the
+/// SpNodeRemap kernel translates them to dense supernode ids.
+pub type RootPair = (u32, u32);
+
+/// Runs Algorithm 3 for one Φ_k group, appending each job's thread-local
+/// subset of superedge candidates to `subsets`.
+///
+/// Must run after SpNode has finalized Π for every trussness ≤ k (ascending
+/// k order guarantees this, as in the paper where Algorithms 2 and 3 are
+/// invoked consecutively on the same Φ_k).
+pub fn spedge_group(
+    graph: &EdgeIndexedGraph,
+    trussness: &[u32],
+    k: u32,
+    phi_k: &[EdgeId],
+    parent: &[AtomicU32],
+    subsets: &mut Vec<Vec<RootPair>>,
+) {
+    let new_subsets: Vec<Vec<RootPair>> = phi_k
+        .par_iter()
+        .fold(Vec::new, |mut acc: Vec<RootPair>, &e| {
+            let pe = parent[e as usize].load(Ordering::Relaxed);
+            for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+                let (k1, k2) = (trussness[e1 as usize], trussness[e2 as usize]);
+                let lowest = k.min(k1).min(k2);
+                if lowest < 3 {
+                    return; // unindexed edge in the triangle — no superedge
+                }
+                // "Create superedge downward, k > k1" (ln. 9–10).
+                if k > lowest && lowest == k1 {
+                    acc.push((parent[e1 as usize].load(Ordering::Relaxed), pe));
+                }
+                // "Create superedge downward, k > k2" (ln. 11–12).
+                if k > lowest && lowest == k2 {
+                    acc.push((parent[e2 as usize].load(Ordering::Relaxed), pe));
+                }
+            });
+            acc
+        })
+        .collect();
+    subsets.extend(new_subsets.into_iter().filter(|s| !s.is_empty()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coptimal::spnode_group_coptimal;
+    use crate::phi::PhiGroups;
+    use et_truss::decompose_serial;
+
+    /// Builds Π and collects all superedge candidates for a graph.
+    fn run(eg: &EdgeIndexedGraph) -> (Vec<u32>, Vec<Vec<RootPair>>) {
+        let tau = decompose_serial(eg).trussness;
+        let phi = PhiGroups::build(&tau);
+        let parent: Vec<AtomicU32> = (0..eg.num_edges() as u32).map(AtomicU32::new).collect();
+        let mut subsets = Vec::new();
+        for (k, group) in phi.iter() {
+            spnode_group_coptimal(eg, &tau, k, group, &parent);
+            spedge_group(eg, &tau, k, group, &parent, &mut subsets);
+        }
+        (
+            parent.into_iter().map(|a| a.into_inner()).collect(),
+            subsets,
+        )
+    }
+
+    #[test]
+    fn paper_example_superedge_pairs() {
+        let f = et_gen::fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let (parent, subsets) = run(&eg);
+
+        // Deduplicate candidates into unordered root pairs.
+        let mut pairs: Vec<(u32, u32)> = subsets
+            .into_iter()
+            .flatten()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 6, "paper example has six superedges");
+
+        // Each pair joins supernodes of different trussness.
+        let tau = decompose_serial(&eg).trussness;
+        for &(a, b) in &pairs {
+            // Roots are representative edges of their supernodes.
+            assert_ne!(tau[a as usize], tau[b as usize]);
+            assert_eq!(parent[a as usize], a, "pair endpoint must be a root");
+            assert_eq!(parent[b as usize], b, "pair endpoint must be a root");
+        }
+    }
+
+    #[test]
+    fn clique_produces_no_superedges() {
+        let f = et_gen::fixtures::clique(6);
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let (_, subsets) = run(&eg);
+        assert!(subsets.iter().all(|s| s.is_empty()) || subsets.is_empty());
+    }
+
+    #[test]
+    fn lower_root_is_lower_trussness() {
+        let f = et_gen::fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let (_, subsets) = run(&eg);
+        for (lo, hi) in subsets.into_iter().flatten() {
+            assert!(
+                tau[lo as usize] < tau[hi as usize],
+                "superedge candidate ({lo},{hi}) not downward"
+            );
+        }
+    }
+}

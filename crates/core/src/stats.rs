@@ -1,0 +1,115 @@
+//! Index statistics: size, compression, and supernode distribution.
+//!
+//! The EquiTruss pitch is that the summary graph is much smaller than the
+//! edge set it summarizes (|V| + |E| ≪ |E|), so queries touch supernodes
+//! instead of edges. This module quantifies that for a built index — the
+//! numbers behind Table 5's size columns.
+
+use crate::index::SuperGraph;
+
+/// Aggregate statistics of a built index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexStats {
+    /// Number of indexed edges (trussness ≥ 3).
+    pub indexed_edges: usize,
+    /// Number of unindexed edges (trussness 2).
+    pub unindexed_edges: usize,
+    /// Number of supernodes |V|.
+    pub supernodes: usize,
+    /// Number of superedges |E|.
+    pub superedges: usize,
+    /// (|V| + |E|) / indexed edges — how much smaller the supergraph is
+    /// than the edge set it summarizes (lower is better; > 1 means the
+    /// summary is larger than the input).
+    pub compression_ratio: f64,
+    /// Largest supernode size (edges).
+    pub max_supernode_size: usize,
+    /// Mean supernode size (edges).
+    pub avg_supernode_size: f64,
+    /// Number of supernodes per trussness level `(k, count)`, ascending.
+    pub supernodes_per_level: Vec<(u32, usize)>,
+}
+
+impl IndexStats {
+    /// Computes statistics for `index`.
+    pub fn compute(index: &SuperGraph) -> Self {
+        let supernodes = index.num_supernodes();
+        let superedges = index.num_superedges();
+        let indexed_edges = index.sn_members.len();
+        let unindexed_edges = index.edge_supernode.len() - indexed_edges;
+        let mut max_size = 0usize;
+        let mut per_level = std::collections::BTreeMap::<u32, usize>::new();
+        for sn in 0..supernodes as u32 {
+            max_size = max_size.max(index.members(sn).len());
+            *per_level.entry(index.trussness(sn)).or_default() += 1;
+        }
+        IndexStats {
+            indexed_edges,
+            unindexed_edges,
+            supernodes,
+            superedges,
+            compression_ratio: if indexed_edges == 0 {
+                0.0
+            } else {
+                (supernodes + superedges) as f64 / indexed_edges as f64
+            },
+            max_supernode_size: max_size,
+            avg_supernode_size: if supernodes == 0 {
+                0.0
+            } else {
+                indexed_edges as f64 / supernodes as f64
+            },
+            supernodes_per_level: per_level.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_original;
+    use et_graph::EdgeIndexedGraph;
+    use et_truss::decompose_serial;
+
+    #[test]
+    fn paper_example_stats() {
+        let f = et_gen::fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        let s = IndexStats::compute(&idx);
+        assert_eq!(s.indexed_edges, 27);
+        assert_eq!(s.unindexed_edges, 0);
+        assert_eq!(s.supernodes, 5);
+        assert_eq!(s.superedges, 6);
+        assert_eq!(s.max_supernode_size, 10); // the K5
+        assert!((s.avg_supernode_size - 27.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.supernodes_per_level, vec![(3, 2), (4, 2), (5, 1)]);
+        // 11 summary objects for 27 edges.
+        assert!((s.compression_ratio - 11.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_with_unindexed_edges() {
+        let f = et_gen::fixtures::clique_chain(2, 4);
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        let s = IndexStats::compute(&idx);
+        assert_eq!(s.indexed_edges, 12); // two K4s
+        assert_eq!(s.unindexed_edges, 1); // the bridge
+        assert_eq!(s.supernodes, 2);
+    }
+
+    #[test]
+    fn empty_index_stats() {
+        let f = et_gen::fixtures::bipartite(3, 3);
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        let s = IndexStats::compute(&idx);
+        assert_eq!(s.supernodes, 0);
+        assert_eq!(s.compression_ratio, 0.0);
+        assert_eq!(s.avg_supernode_size, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Kernel-level timing instrumentation.
+//!
+//! The paper's Fig. 4 and Fig. 8 break index construction into the kernels
+//! Support, Init, SpNode, SpEdge, SmGraph, and SpNodeRemap; Fig. 2 uses the
+//! coarser Support / TrussDecomp / EquiTruss split for the Original
+//! implementation. This struct accumulates both.
+
+use std::time::Duration;
+
+/// Accumulated wall-clock time per compute kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelTimings {
+    /// Support computation (Definition 2).
+    pub support: Duration,
+    /// K-truss decomposition (input dictionary τ).
+    pub truss_decomp: Duration,
+    /// Initialization: Π setup and Φ_k grouping (Algorithm 2 ln. 1–5).
+    pub init: Duration,
+    /// Supernode construction (Algorithm 2).
+    pub spnode: Duration,
+    /// Superedge construction (Algorithm 3).
+    pub spedge: Duration,
+    /// Supergraph merge (Algorithm 4).
+    pub smgraph: Duration,
+    /// Dense supernode-id remapping of Π roots.
+    pub spnode_remap: Duration,
+}
+
+impl KernelTimings {
+    /// Total time of the *index construction* phases the paper compares in
+    /// Table 4: SpNode + SpEdge + SmGraph.
+    pub fn index_construction(&self) -> Duration {
+        self.spnode + self.spedge + self.smgraph
+    }
+
+    /// Total over every kernel (end-to-end pipeline time).
+    pub fn total(&self) -> Duration {
+        self.support
+            + self.truss_decomp
+            + self.init
+            + self.spnode
+            + self.spedge
+            + self.smgraph
+            + self.spnode_remap
+    }
+
+    /// `(label, duration)` rows in the paper's Fig. 4 kernel order.
+    pub fn rows(&self) -> Vec<(&'static str, Duration)> {
+        vec![
+            ("Support", self.support),
+            ("TrussDecomp", self.truss_decomp),
+            ("Init", self.init),
+            ("SpNode", self.spnode),
+            ("SpEdge", self.spedge),
+            ("SmGraph", self.smgraph),
+            ("SpNodeRemap", self.spnode_remap),
+        ]
+    }
+
+    /// Percentage breakdown of the total, in [`KernelTimings::rows`] order.
+    pub fn percentages(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total().as_secs_f64();
+        self.rows()
+            .into_iter()
+            .map(|(name, d)| {
+                let pct = if total > 0.0 {
+                    100.0 * d.as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (name, pct)
+            })
+            .collect()
+    }
+
+    /// Element-wise sum (for averaging repeated runs).
+    pub fn accumulate(&mut self, other: &KernelTimings) {
+        self.support += other.support;
+        self.truss_decomp += other.truss_decomp;
+        self.init += other.init;
+        self.spnode += other.spnode;
+        self.spedge += other.spedge;
+        self.smgraph += other.smgraph;
+        self.spnode_remap += other.spnode_remap;
+    }
+}
+
+/// Times a closure, adding the elapsed duration to `slot`.
+pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_percentages() {
+        let mut t = KernelTimings::default();
+        t.support = Duration::from_millis(10);
+        t.spnode = Duration::from_millis(30);
+        assert_eq!(t.total(), Duration::from_millis(40));
+        assert_eq!(t.index_construction(), Duration::from_millis(30));
+        let pct = t.percentages();
+        let spnode = pct.iter().find(|(n, _)| *n == "SpNode").unwrap().1;
+        assert!((spnode - 75.0).abs() < 1e-9);
+        let sum: f64 = pct.iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        let t = KernelTimings::default();
+        assert!(t.percentages().iter().all(|&(_, p)| p == 0.0));
+    }
+
+    #[test]
+    fn timed_accumulates() {
+        let mut slot = Duration::ZERO;
+        let v = timed(&mut slot, || 42);
+        assert_eq!(v, 42);
+        let first = slot;
+        timed(&mut slot, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(slot > first);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = KernelTimings::default();
+        a.spedge = Duration::from_millis(5);
+        let mut b = KernelTimings::default();
+        b.spedge = Duration::from_millis(7);
+        b.init = Duration::from_millis(1);
+        a.accumulate(&b);
+        assert_eq!(a.spedge, Duration::from_millis(12));
+        assert_eq!(a.init, Duration::from_millis(1));
+    }
+}

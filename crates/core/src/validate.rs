@@ -1,0 +1,193 @@
+//! Ground-truth index construction and validation.
+//!
+//! [`brute_force_index`] rebuilds the EquiTruss index straight from the
+//! definitions with a sequential union-find — no SV, no Afforest, no BFS
+//! sharing code with the real implementations — and is the reference the
+//! test suite compares every construction against (the paper's 100%-accuracy
+//! check, §4.3).
+
+use crate::index::{SuperGraph, NO_SUPERNODE};
+use crate::phi::PhiGroups;
+use et_cc::DisjointSet;
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::for_each_triangle_of_edge;
+
+/// Builds the index by definition: union same-trussness edges sharing a
+/// triangle inside their k-truss (Definition 8), then derive superedges from
+/// every triangle's minimum-trussness edge (Definition 9).
+pub fn brute_force_index(graph: &EdgeIndexedGraph, trussness: &[u32]) -> SuperGraph {
+    let m = graph.num_edges();
+    assert_eq!(trussness.len(), m);
+    let mut dsu = DisjointSet::new(m);
+
+    // Supernode partition.
+    for e in 0..m as u32 {
+        let k = trussness[e as usize];
+        if k < 3 {
+            continue;
+        }
+        let mut partners: Vec<EdgeId> = Vec::new();
+        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+            if trussness[e1 as usize] >= k && trussness[e2 as usize] >= k {
+                for &ei in &[e1, e2] {
+                    if trussness[ei as usize] == k {
+                        partners.push(ei);
+                    }
+                }
+            }
+        });
+        for p in partners {
+            dsu.union(e, p);
+        }
+    }
+
+    // Dense supernode ids in (k, smallest-member) order via PhiGroups.
+    let phi = PhiGroups::build(trussness);
+    let mut root_to_sn = vec![NO_SUPERNODE; m];
+    let mut sn_trussness = Vec::new();
+    let mut edge_supernode = vec![NO_SUPERNODE; m];
+    for (k, group) in phi.iter() {
+        for &e in group {
+            let root = dsu.find(e) as usize;
+            let sn = if root_to_sn[root] == NO_SUPERNODE {
+                let id = sn_trussness.len() as u32;
+                sn_trussness.push(k);
+                root_to_sn[root] = id;
+                id
+            } else {
+                root_to_sn[root]
+            };
+            edge_supernode[e as usize] = sn;
+        }
+    }
+
+    // Superedges: for every triangle, connect the strictly-minimum-trussness
+    // edge's supernode to each higher edge's supernode.
+    let mut superedges: Vec<(u32, u32)> = Vec::new();
+    for e in 0..m as u32 {
+        let k = trussness[e as usize];
+        if k < 3 {
+            continue;
+        }
+        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+            let (k1, k2) = (trussness[e1 as usize], trussness[e2 as usize]);
+            let lowest = k.min(k1).min(k2);
+            if lowest < 3 || k == lowest {
+                return;
+            }
+            let sn_e = edge_supernode[e as usize];
+            if lowest == k1 {
+                superedges.push((edge_supernode[e1 as usize], sn_e));
+            }
+            if lowest == k2 {
+                superedges.push((edge_supernode[e2 as usize], sn_e));
+            }
+        });
+    }
+
+    SuperGraph::assemble(m, edge_supernode, sn_trussness, superedges)
+}
+
+/// Deep validation of an index against the definitions:
+/// structural consistency, trussness uniformity within supernodes, coverage
+/// of exactly the τ ≥ 3 edges, and full agreement with the brute-force
+/// reconstruction (partition, maximality, and superedge set).
+pub fn validate_index(
+    graph: &EdgeIndexedGraph,
+    trussness: &[u32],
+    index: &SuperGraph,
+) -> Result<(), String> {
+    index.check_structure(graph)?;
+
+    // Supernode trussness must match every member's trussness.
+    for sn in 0..index.num_supernodes() as u32 {
+        let k = index.trussness(sn);
+        if k < 3 {
+            return Err(format!("supernode {sn} has trussness {k} < 3"));
+        }
+        for &e in index.members(sn) {
+            if trussness[e as usize] != k {
+                return Err(format!(
+                    "edge {e} (τ = {}) inside supernode {sn} of trussness {k}",
+                    trussness[e as usize]
+                ));
+            }
+        }
+    }
+
+    // Coverage: indexed ⇔ τ ≥ 3.
+    for (e, &t) in trussness.iter().enumerate() {
+        let indexed = index.edge_supernode[e] != NO_SUPERNODE;
+        if indexed != (t >= 3) {
+            return Err(format!("edge {e} (τ = {t}) indexed = {indexed}"));
+        }
+    }
+
+    // Exact agreement with the definitional reconstruction.
+    let reference = brute_force_index(graph, trussness);
+    if index.canonical() != reference.canonical() {
+        return Err("index disagrees with brute-force reconstruction".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{build_index_with_decomposition, Variant};
+    use crate::KernelTimings;
+    use et_gen::fixtures;
+    use et_truss::decompose_serial;
+
+    #[test]
+    fn brute_force_matches_paper_example() {
+        let f = fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let idx = brute_force_index(&eg, &tau);
+        assert_eq!(idx.num_supernodes(), 5);
+        assert_eq!(idx.num_superedges(), 6);
+    }
+
+    #[test]
+    fn all_variants_validate_on_fixtures() {
+        for f in fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            let d = decompose_serial(&eg);
+            for variant in Variant::ALL {
+                let mut t = KernelTimings::default();
+                let idx = build_index_with_decomposition(&eg, &d, variant, &mut t);
+                validate_index(&eg, &d.trussness, &idx)
+                    .unwrap_or_else(|m| panic!("{} on {}: {m}", variant.name(), f.name));
+            }
+        }
+    }
+
+    #[test]
+    fn original_validates_on_random() {
+        for seed in 20..23 {
+            let eg = EdgeIndexedGraph::new(et_gen::gnm(80, 450, seed));
+            let d = decompose_serial(&eg);
+            let idx = crate::build_original(&eg, &d.trussness);
+            validate_index(&eg, &d.trussness, &idx).unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_catches_corruption() {
+        let f = fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let tau = decompose_serial(&eg).trussness;
+        let good = brute_force_index(&eg, &tau);
+
+        // Drop a superedge.
+        let mut broken = good.clone();
+        broken.superedges.pop();
+        assert!(validate_index(&eg, &tau, &broken).is_err());
+
+        // Mislabel a supernode's trussness.
+        let mut broken2 = good.clone();
+        broken2.sn_trussness[0] += 1;
+        assert!(validate_index(&eg, &tau, &broken2).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Adjacency-list graph with stable, recycled edge ids.
+
+use et_graph::{CsrGraph, EdgeId, EdgeIndexedGraph, GraphBuilder, VertexId};
+
+/// A mutable simple undirected graph whose edge ids survive updates.
+///
+/// Neighbor lists are kept sorted by neighbor id, so triangle enumeration is
+/// the same merge used by the static kernels. Deleted edge ids go to a free
+/// list and may be reused by later insertions; id slots of deleted edges
+/// report no endpoints.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    endpoints: Vec<(VertexId, VertexId)>,
+    free: Vec<EdgeId>,
+    num_edges: usize,
+}
+
+/// Sentinel endpoint for dead edge-id slots.
+const DEAD: (VertexId, VertexId) = (VertexId::MAX, VertexId::MAX);
+
+impl DynamicGraph {
+    /// An empty dynamic graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            adj: vec![Vec::new(); n],
+            endpoints: Vec::new(),
+            free: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Imports a static indexed graph; dynamic edge ids equal the CSR ids.
+    pub fn from_indexed(graph: &EdgeIndexedGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut adj: Vec<Vec<(VertexId, EdgeId)>> = vec![Vec::new(); n];
+        for u in 0..n as VertexId {
+            adj[u as usize] = graph.neighbors_with_eids(u).collect();
+        }
+        DynamicGraph {
+            adj,
+            endpoints: graph.endpoint_table().to_vec(),
+            free: Vec::new(),
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Grows the vertex set to at least `n` vertices (new vertices are
+    /// isolated). Existing ids are unaffected.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.adj.len() {
+            self.adj.resize(n, Vec::new());
+        }
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Size of the edge-id space (live + recycled slots); arrays indexed by
+    /// edge id must have this length.
+    pub fn edge_capacity(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether edge id `e` is live.
+    pub fn is_live(&self, e: EdgeId) -> bool {
+        (e as usize) < self.endpoints.len() && self.endpoints[e as usize] != DEAD
+    }
+
+    /// Endpoints of live edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is dead or out of range.
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let ep = self.endpoints[e as usize];
+        assert!(ep != DEAD, "edge id {e} is dead");
+        ep
+    }
+
+    /// Sorted `(neighbor, edge id)` list of `u`.
+    pub fn neighbors(&self, u: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Edge id of `{u, v}` if present.
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if (u as usize) >= self.adj.len() || (v as usize) >= self.adj.len() {
+            return None;
+        }
+        let row = &self.adj[u as usize];
+        row.binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Inserts `{u, v}`; returns the assigned edge id, or `None` if the edge
+    /// already exists or is a self-loop.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "endpoint out of range"
+        );
+        if u == v || self.edge_id(u, v).is_some() {
+            return None;
+        }
+        let e = match self.free.pop() {
+            Some(id) => {
+                self.endpoints[id as usize] = (u.min(v), u.max(v));
+                id
+            }
+            None => {
+                let id = self.endpoints.len() as EdgeId;
+                self.endpoints.push((u.min(v), u.max(v)));
+                id
+            }
+        };
+        for (a, b) in [(u, v), (v, u)] {
+            let row = &mut self.adj[a as usize];
+            let pos = row.partition_point(|&(w, _)| w < b);
+            row.insert(pos, (b, e));
+        }
+        self.num_edges += 1;
+        Some(e)
+    }
+
+    /// Removes `{u, v}`; returns its (now recycled) edge id if it existed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let e = self.edge_id(u, v)?;
+        for (a, b) in [(u, v), (v, u)] {
+            let row = &mut self.adj[a as usize];
+            let pos = row
+                .binary_search_by_key(&b, |&(w, _)| w)
+                .expect("edge present in both rows");
+            row.remove(pos);
+        }
+        self.endpoints[e as usize] = DEAD;
+        self.free.push(e);
+        self.num_edges -= 1;
+        Some(e)
+    }
+
+    /// Invokes `f(w, e1, e2)` for every triangle through live edge `e`
+    /// (lockstep merge of the two sorted neighbor rows, like the static
+    /// kernel).
+    pub fn for_each_triangle_of_edge<F>(&self, e: EdgeId, mut f: F)
+    where
+        F: FnMut(VertexId, EdgeId, EdgeId),
+    {
+        let (u, v) = self.endpoints(e);
+        let nu = &self.adj[u as usize];
+        let nv = &self.adj[v as usize];
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].0.cmp(&nv[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(nu[i].0, nu[i].1, nv[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Iterates live `(eid, u, v)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ep)| ep != DEAD)
+            .map(|(e, &(u, v))| (e as EdgeId, u, v))
+    }
+
+    /// Materializes the current graph as a static CSR plus the mapping from
+    /// CSR edge ids to this graph's stable ids.
+    pub fn to_indexed(&self) -> (EdgeIndexedGraph, Vec<EdgeId>) {
+        let mut b = GraphBuilder::new(self.num_vertices());
+        for (_, u, v) in self.edges() {
+            b.add_edge(u, v);
+        }
+        let csr: CsrGraph = b.build();
+        let indexed = EdgeIndexedGraph::new(csr);
+        let map: Vec<EdgeId> = indexed
+            .endpoint_table()
+            .iter()
+            .map(|&(u, v)| self.edge_id(u, v).expect("edge exists in both views"))
+            .collect();
+        (indexed, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = DynamicGraph::new(4);
+        let e01 = g.insert_edge(0, 1).unwrap();
+        let e12 = g.insert_edge(1, 2).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_id(1, 0), Some(e01));
+        assert!(g.insert_edge(0, 1).is_none()); // duplicate
+        assert!(g.insert_edge(2, 2).is_none()); // self-loop
+
+        assert_eq!(g.remove_edge(0, 1), Some(e01));
+        assert!(!g.is_live(e01));
+        assert!(g.is_live(e12));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.remove_edge(0, 1), None);
+
+        // Freed id is recycled.
+        let e03 = g.insert_edge(0, 3).unwrap();
+        assert_eq!(e03, e01);
+        assert_eq!(g.endpoints(e03), (0, 3));
+    }
+
+    #[test]
+    fn stable_ids_under_churn() {
+        let mut g = DynamicGraph::new(10);
+        let kept = g.insert_edge(4, 7).unwrap();
+        for i in 0..9u32 {
+            g.insert_edge(i, i + 1);
+        }
+        for i in 0..9u32 {
+            g.remove_edge(i, i + 1);
+        }
+        assert_eq!(g.endpoints(kept), (4, 7));
+        assert_eq!(g.edge_id(7, 4), Some(kept));
+    }
+
+    #[test]
+    fn triangle_enumeration_matches_static() {
+        let base = EdgeIndexedGraph::new(et_gen::gnm(40, 200, 7));
+        let g = DynamicGraph::from_indexed(&base);
+        for (e, _, _) in base.edges() {
+            let mut stat = Vec::new();
+            et_triangle::for_each_triangle_of_edge(&base, e, |w, e1, e2| stat.push((w, e1, e2)));
+            let mut dynv = Vec::new();
+            g.for_each_triangle_of_edge(e, |w, e1, e2| dynv.push((w, e1, e2)));
+            assert_eq!(stat, dynv, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn to_indexed_roundtrip() {
+        let mut g = DynamicGraph::new(5);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(0, 2);
+        g.remove_edge(1, 2);
+        g.insert_edge(3, 4);
+        let (csr, map) = g.to_indexed();
+        assert_eq!(csr.num_edges(), 3);
+        for (csr_eid, u, v) in csr.edges() {
+            assert_eq!(g.endpoints(map[csr_eid as usize]), (u, v));
+        }
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut g = DynamicGraph::new(6);
+        for v in [5u32, 1, 3, 2, 4] {
+            g.insert_edge(0, v);
+        }
+        let ns: Vec<u32> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ns, vec![1, 2, 3, 4, 5]);
+        g.remove_edge(0, 3);
+        let ns: Vec<u32> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ns, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        DynamicGraph::new(2).insert_edge(0, 5);
+    }
+}

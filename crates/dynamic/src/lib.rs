@@ -1,0 +1,34 @@
+//! # et-dynamic — dynamic graphs and incremental index maintenance
+//!
+//! The static pipeline assigns edge ids lexicographically, so a single edge
+//! insertion renumbers everything — useless for evolving graphs. This crate
+//! provides:
+//!
+//! * [`DynamicGraph`] — an adjacency-list graph with **stable edge ids**
+//!   (freed ids are recycled; existing ids never move), convertible to/from
+//!   the CSR substrate;
+//! * [`DynamicIndex`] — an EquiTruss index maintained under edge insertions
+//!   and deletions. Trussness is recomputed per update (the τ dictionary is
+//!   the *input* of index construction in the paper; fully incremental truss
+//!   maintenance à la Huang et al. is future work), but the dominant SpNode
+//!   kernel — 70–90% of construction time per Fig. 4 — is rebuilt **only for
+//!   the affected trussness levels**, reusing the parent forest of untouched
+//!   Φ_k groups.
+//!
+//! Which levels can an update touch? Every triangle created or destroyed
+//! contains the updated edge e, so connectivity can only change at levels
+//! k ≤ τ(e) (taking τ(e) = max(old, new)). Additionally, any edge f whose
+//! trussness moved from a to b changes its group membership at levels a and
+//! b and its "≥ k" filter eligibility for k in (min(a,b), max(a,b)]. The
+//! union of those ranges is the affected set; everything above it is reused
+//! verbatim (stable ids make the reuse sound).
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod index;
+#[cfg(test)]
+mod proptests;
+
+pub use graph::DynamicGraph;
+pub use index::{DynamicIndex, UpdateStats};

@@ -1,0 +1,84 @@
+//! Property-based churn testing: arbitrary update sequences must leave the
+//! dynamic index identical to a from-scratch static build.
+
+#![cfg(test)]
+
+use crate::{DynamicGraph, DynamicIndex};
+use proptest::prelude::*;
+
+/// An update script: each pair toggles the edge (insert if absent, delete if
+/// present).
+fn arb_script() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..16, 0u32..16), 1..40)
+}
+
+/// Compares supernode partitions + superedges through endpoint pairs (the
+/// two indexes live in different edge-id spaces).
+fn canonical(
+    index: &et_core::SuperGraph,
+    endpoints: impl Fn(u32) -> (u32, u32),
+) -> Vec<(u32, Vec<(u32, u32)>)> {
+    let mut sns: Vec<(u32, Vec<(u32, u32)>)> = (0..index.num_supernodes() as u32)
+        .map(|sn| {
+            let mut members: Vec<(u32, u32)> =
+                index.members(sn).iter().map(|&e| endpoints(e)).collect();
+            members.sort_unstable();
+            (index.trussness(sn), members)
+        })
+        .collect();
+    sns.sort_by(|a, b| a.1.cmp(&b.1));
+    sns
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn churn_scripts_match_static_rebuild(script in arb_script()) {
+        let mut di = DynamicIndex::build(DynamicGraph::new(16));
+        for (u, v) in script {
+            if u == v {
+                continue;
+            }
+            if di.graph().edge_id(u, v).is_some() {
+                di.remove_edge(u, v);
+            } else {
+                di.insert_edge(u, v);
+            }
+        }
+        let (indexed, _) = di.graph().to_indexed();
+        let d = et_truss::decompose_parallel(&indexed);
+        let fresh = et_core::build_original(&indexed, &d.trussness);
+        let a = canonical(di.index(), |e| di.graph().endpoints(e));
+        let b = canonical(&fresh, |e| indexed.endpoints(e));
+        prop_assert_eq!(a, b);
+
+        // Trussness arrays agree through endpoints too.
+        for (e, u, v) in indexed.edges() {
+            let stable = di.graph().edge_id(u, v).unwrap();
+            prop_assert_eq!(di.trussness()[stable as usize], d.trussness[e as usize]);
+        }
+    }
+
+    #[test]
+    fn insert_then_delete_is_identity(edges in proptest::collection::vec((0u32..12, 0u32..12), 1..15)) {
+        let base = et_gen::gnm(12, 20, 3);
+        let mut di = DynamicIndex::build(DynamicGraph::from_indexed(
+            &et_graph::EdgeIndexedGraph::new(base.clone()),
+        ));
+        let before = canonical(di.index(), |e| di.graph().endpoints(e));
+        // Insert a batch of brand-new edges, then remove exactly those.
+        let mut added = Vec::new();
+        for (u, v) in edges {
+            if u != v && di.graph().edge_id(u, v).is_none() {
+                di.insert_edge(u, v);
+                added.push((u, v));
+            }
+        }
+        for (u, v) in added.into_iter().rev() {
+            di.remove_edge(u, v);
+        }
+        let after = canonical(di.index(), |e| di.graph().endpoints(e));
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,84 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces heavy-tailed degree distributions with the "rich club" head that
+//! stresses the intersection kernels (high-degree × high-degree edges are the
+//! expensive supports). Used in benchmarks as a third degree-profile besides
+//! R-MAT and planted cliques.
+
+use et_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert graph: starts from a small clique of `m0 = m + 1`
+/// vertices, then attaches each new vertex to `m` existing vertices chosen
+/// by preferential attachment (the classic repeated-endpoint-list trick).
+///
+/// # Panics
+/// Panics if `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need at least m + 1 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+
+    // `targets` holds one entry per arc endpoint; sampling uniformly from it
+    // is exactly degree-proportional sampling.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    let m0 = m + 1;
+    for u in 0..m0 as VertexId {
+        for v in (u + 1)..m0 as VertexId {
+            builder.add_edge(u, v);
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for u in m0 as VertexId..n as VertexId {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &v in &chosen {
+            builder.add_edge(u, v);
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 17);
+        // m0 choose 2 seed edges + m per subsequent vertex.
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expected);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+    }
+
+    #[test]
+    fn heavy_tail() {
+        let g = barabasi_albert(2000, 2, 9);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 5.0 * avg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least m + 1")]
+    fn too_few_vertices() {
+        barabasi_albert(2, 3, 0);
+    }
+}

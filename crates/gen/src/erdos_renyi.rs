@@ -1,0 +1,133 @@
+//! Erdős–Rényi random graphs: G(n, p) and G(n, m).
+//!
+//! Used as triangle-sparse noise baselines and as the randomized inputs of
+//! the property-based test suites (every EquiTruss implementation must agree
+//! on arbitrary random graphs).
+
+use et_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, p): each of the n·(n−1)/2 possible edges present independently with
+/// probability `p`. Intended for small n (tests); O(n²) time.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// G(n, m): exactly `m` distinct undirected edges sampled uniformly (or every
+/// edge, if `m` exceeds the number of possible edges).
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(possible);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if possible == 0 {
+        return b.build();
+    }
+    // Sample distinct linear indices into the strict upper triangle.
+    let picks = sample_distinct_u64(&mut rng, possible as u64, m);
+    for idx in picks {
+        let (u, v) = triangle_index_to_edge(idx, n as u64);
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding `(u, v)` pair
+/// with `u < v` (row-major over the strict upper triangle).
+fn triangle_index_to_edge(idx: u64, n: u64) -> (u64, u64) {
+    // Row u owns (n-1-u) entries. Solve for u by inverting the prefix sum.
+    // prefix(u) = u*n - u*(u+1)/2 entries precede row u.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        let before = mid * n - mid * (mid + 1) / 2;
+        if before <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let before = u * n - u * (u + 1) / 2;
+    let v = u + 1 + (idx - before);
+    (u, v)
+}
+
+/// Samples `k` distinct values from `0..range` (Floyd's algorithm).
+pub(crate) fn sample_distinct_u64(rng: &mut StdRng, range: u64, k: usize) -> Vec<u64> {
+    use std::collections::HashSet;
+    let k = k.min(range as usize);
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (range - k as u64)..range {
+        let t = rng.gen_range(0..=j);
+        let val = if chosen.contains(&t) { j } else { t };
+        chosen.insert(val);
+        out.push(val);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_count() {
+        let g = gnm(50, 200, 9);
+        assert_eq!(g.num_edges(), 200);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnm_caps_at_complete() {
+        let g = gnm(5, 1000, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 3).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 3).num_edges(), 45);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(30, 60, 5), gnm(30, 60, 5));
+        assert_eq!(gnp(30, 0.2, 5), gnp(30, 0.2, 5));
+    }
+
+    #[test]
+    fn triangle_index_bijection() {
+        let n = 7u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..total {
+            let (u, v) = triangle_index_to_edge(idx, n);
+            assert!(u < v && v < n, "bad pair ({u},{v}) for idx {idx}");
+            assert!(seen.insert((u, v)), "duplicate pair for idx {idx}");
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sample_distinct_u64(&mut rng, 100, 40);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 40);
+        assert!(s.iter().all(|&x| x < 100));
+    }
+}

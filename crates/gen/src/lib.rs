@@ -1,0 +1,28 @@
+//! # et-gen — deterministic synthetic graph generators
+//!
+//! The paper evaluates on SNAP datasets (Amazon … Friendster, Table 3).
+//! Those downloads are not available in this environment, so this crate
+//! provides deterministic, seeded generators whose outputs exercise the same
+//! code paths: skewed degree distributions (R-MAT), clique-heavy collaboration
+//! structure (overlapping planted cliques, like DBLP/Amazon), and uniform
+//! noise (Erdős–Rényi). `profiles` maps each paper dataset name to a scaled
+//! synthetic analog; `fixtures` provides small graphs with *hand-verified*
+//! truss decompositions — including the paper's own Figure 3 example.
+//!
+//! All generators take an explicit seed and are deterministic across runs and
+//! thread counts.
+
+#![warn(missing_docs)]
+
+pub mod barabasi_albert;
+pub mod erdos_renyi;
+pub mod fixtures;
+pub mod planted;
+pub mod profiles;
+pub mod rmat;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::{gnm, gnp};
+pub use planted::{overlapping_cliques, planted_partition, PlantedConfig};
+pub use profiles::{profile_by_name, DatasetProfile, PROFILE_NAMES};
+pub use rmat::{rmat, RmatConfig};

@@ -1,0 +1,187 @@
+//! Planted community structure: partitions and overlapping cliques.
+//!
+//! K-truss community detection is only interesting on graphs that *have*
+//! dense overlapping substructure. `overlapping_cliques` mimics collaboration
+//! networks (DBLP: a paper = a clique of its authors; Amazon co-purchase
+//! behaves similarly), which is exactly the regime where EquiTruss indexes
+//! have many supernodes at many k levels. `planted_partition` is the classic
+//! disjoint-blocks-plus-noise model used for sanity-checking community
+//! recovery.
+
+use et_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`planted_partition`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedConfig {
+    /// Number of disjoint blocks.
+    pub num_blocks: usize,
+    /// Vertices per block.
+    pub block_size: usize,
+    /// Intra-block edge probability.
+    pub p_in: f64,
+    /// Inter-block edge probability.
+    pub p_out: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Planted-partition (stochastic block) model with equal-size blocks.
+/// Returns the graph and the block id of every vertex.
+pub fn planted_partition(config: PlantedConfig) -> (CsrGraph, Vec<u32>) {
+    let PlantedConfig {
+        num_blocks,
+        block_size,
+        p_in,
+        p_out,
+        seed,
+    } = config;
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = num_blocks * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let block = |v: usize| (v / block_size) as u32;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block(u) == block(v) { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    let labels = (0..n).map(block).collect();
+    (b.build(), labels)
+}
+
+/// Collaboration-style generator: `num_groups` cliques with sizes drawn
+/// uniformly from `size_range`, whose member sets overlap (each group draws
+/// members from a sliding window of the vertex range, so adjacent groups
+/// share vertices), plus `noise_edges` uniform random edges.
+///
+/// The result has a rich trussness spectrum — group size s yields edges of
+/// trussness up to s — and genuinely *overlapping* communities, the setting
+/// of Figure 1 (right) in the paper.
+pub fn overlapping_cliques(
+    n: usize,
+    num_groups: usize,
+    size_range: (usize, usize),
+    noise_edges: usize,
+    seed: u64,
+) -> CsrGraph {
+    let (lo, hi) = size_range;
+    assert!(lo >= 2 && hi >= lo, "invalid group size range");
+    assert!(n > hi, "vertex range too small for group size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+
+    for g in 0..num_groups {
+        let size = rng.gen_range(lo..=hi);
+        // Sliding window anchor: groups cluster around increasing anchors so
+        // neighbors overlap, mimicking recurring co-author teams.
+        let anchor = if num_groups > 1 {
+            (g * (n - hi)) / (num_groups - 1)
+        } else {
+            0
+        };
+        let window = (hi * 3).min(n - anchor);
+        let mut members: Vec<VertexId> = Vec::with_capacity(size);
+        while members.len() < size {
+            let v = (anchor + rng.gen_range(0..window)) as VertexId;
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                b.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    for _ in 0..noise_edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_partition_shapes() {
+        let (g, labels) = planted_partition(PlantedConfig {
+            num_blocks: 4,
+            block_size: 20,
+            p_in: 0.5,
+            p_out: 0.01,
+            seed: 3,
+        });
+        assert_eq!(g.num_vertices(), 80);
+        assert_eq!(labels.len(), 80);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[79], 3);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn planted_partition_denser_inside() {
+        let (g, labels) = planted_partition(PlantedConfig {
+            num_blocks: 2,
+            block_size: 40,
+            p_in: 0.4,
+            p_out: 0.02,
+            seed: 7,
+        });
+        let mut inside = 0usize;
+        let mut outside = 0usize;
+        for (u, v) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                inside += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        assert!(inside > 5 * outside, "inside={inside} outside={outside}");
+    }
+
+    #[test]
+    fn overlapping_cliques_have_triangles() {
+        let g = overlapping_cliques(200, 30, (4, 7), 50, 13);
+        assert!(g.validate().is_ok());
+        // Any 4-clique guarantees triangles; check one exists by looking for
+        // a vertex pair with a common neighbor.
+        let mut found = false;
+        'outer: for u in 0..g.num_vertices() as VertexId {
+            for &v in g.neighbors(u) {
+                if v < u {
+                    continue;
+                }
+                let nu = g.neighbors(u);
+                let nv = g.neighbors(v);
+                if nu.iter().any(|w| nv.binary_search(w).is_ok()) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no triangles in collaboration graph");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = overlapping_cliques(100, 10, (3, 5), 10, 2);
+        let b = overlapping_cliques(100, 10, (3, 5), 10, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_group_works() {
+        let g = overlapping_cliques(20, 1, (5, 5), 0, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Canonicalizing graph construction from arbitrary edge lists.
+
+use crate::{CsrGraph, GraphError, VertexId};
+use rayon::prelude::*;
+
+/// Builds a canonical [`CsrGraph`] from an arbitrary multiset of edges.
+///
+/// The builder symmetrizes (each input pair contributes both arcs), removes
+/// self-loops, sorts, and deduplicates — producing the "simple undirected
+/// unweighted" graph that EquiTruss assumes (paper §2.1).
+///
+/// Construction is parallel: the arc array is sorted with rayon's parallel
+/// sort, so building billion-arc graphs scales with cores.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    arcs: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// An empty builder over `n` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Builder pre-populated from an undirected edge slice.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`. Use [`GraphBuilder::try_add_edge`]
+    /// for fallible insertion.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+
+    /// Adds one undirected edge. Self-loops are silently dropped; duplicates
+    /// are merged at build time.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.try_add_edge(u, v).expect("edge endpoint out of range");
+    }
+
+    /// Fallible edge insertion.
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        let n = self.num_vertices as u64;
+        for w in [u, v] {
+            if (w as u64) >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w as u64,
+                    num_vertices: n,
+                });
+            }
+        }
+        if u != v {
+            self.arcs.push((u, v));
+            self.arcs.push((v, u));
+        }
+        Ok(())
+    }
+
+    /// Bulk-extend from an iterator of undirected edges.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, it: I) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Number of (directed) arcs currently buffered, before dedup.
+    pub fn buffered_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Finalizes into a canonical [`CsrGraph`].
+    pub fn build(self) -> CsrGraph {
+        let n = self.num_vertices;
+        let mut arcs = self.arcs;
+        arcs.par_sort_unstable();
+        arcs.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<VertexId> = arcs.into_iter().map(|(_, v)| v).collect();
+        CsrGraph::from_raw(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        // Duplicates (both orders) and a self-loop collapse away.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]).build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.try_add_edge(0, 2).is_err());
+        assert!(b.try_add_edge(5, 0).is_err());
+        assert!(b.try_add_edge(0, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_panics_out_of_range() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 1);
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let g = GraphBuilder::from_edges(10, &[(0, 9)]).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(5), 0);
+        assert_eq!(g.degree(9), 1);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn extend_edges_matches_add() {
+        let mut a = GraphBuilder::new(4);
+        a.extend_edges(vec![(0, 1), (1, 2), (2, 3)]);
+        let b = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(a.build(), b.build());
+    }
+}

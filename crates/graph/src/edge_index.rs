@@ -1,0 +1,256 @@
+//! Undirected edge identifiers over a CSR graph.
+//!
+//! EquiTruss is a connected-components problem whose *entities are edges*
+//! (paper contribution #1). Every kernel therefore needs a dense, stable id
+//! per undirected edge, and — critically for the C-Optimal variant — an O(1)
+//! way to map an arc discovered during a neighborhood intersection to that id.
+//! This module provides both: a per-arc `eid` array aligned with the CSR
+//! neighbor array, and an `eid → (u, v)` endpoint table.
+
+use crate::{CsrGraph, EdgeId, GraphError, VertexId};
+use rayon::prelude::*;
+
+/// A [`CsrGraph`] augmented with undirected edge ids.
+///
+/// Edge ids are assigned in lexicographic `(u, v)`-with-`u < v` order, i.e.
+/// the order of [`CsrGraph::edges`]. Both arcs of an undirected edge carry the
+/// same id in [`EdgeIndexedGraph::arc_eids`].
+#[derive(Clone, Debug)]
+pub struct EdgeIndexedGraph {
+    graph: CsrGraph,
+    arc_eid: Vec<EdgeId>,
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeIndexedGraph {
+    /// Indexes the edges of `graph`.
+    ///
+    /// # Panics
+    /// Panics if the graph has more than `u32::MAX` undirected edges; use
+    /// [`EdgeIndexedGraph::try_new`] for the fallible version.
+    pub fn new(graph: CsrGraph) -> Self {
+        Self::try_new(graph).expect("too many edges for u32 edge ids")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(graph: CsrGraph) -> Result<Self, GraphError> {
+        let m = graph.num_edges() as u64;
+        if m > EdgeId::MAX as u64 {
+            return Err(GraphError::TooManyEdges(m));
+        }
+        let n = graph.num_vertices();
+        let mut arc_eid = vec![EdgeId::MAX; graph.num_arcs()];
+        let mut endpoints = Vec::with_capacity(m as usize);
+
+        // Pass 1: assign ids to forward arcs (u < v) in lexicographic order.
+        let mut next: EdgeId = 0;
+        for u in 0..n as VertexId {
+            let base = graph.offset(u);
+            for (j, &v) in graph.neighbors(u).iter().enumerate() {
+                if u < v {
+                    arc_eid[base + j] = next;
+                    endpoints.push((u, v));
+                    next += 1;
+                }
+            }
+        }
+
+        // Pass 2: mirror onto backward arcs (u > v) by locating the forward
+        // arc with a binary search — parallel over rows.
+        let offsets = graph.offsets().to_vec();
+        let fwd = arc_eid.clone();
+        arc_eid
+            .par_chunks_mut(1 << 12)
+            .enumerate()
+            .for_each(|(chunk_idx, chunk)| {
+                let start = chunk_idx << 12;
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let arc = start + k;
+                    if *slot != EdgeId::MAX {
+                        continue;
+                    }
+                    // Row of this arc: partition point over offsets.
+                    let u = offsets.partition_point(|&o| o <= arc) as VertexId - 1;
+                    let v = graph.raw_neighbors()[arc];
+                    debug_assert!(v < u);
+                    let pos = graph
+                        .arc_index(v, u)
+                        .expect("asymmetric CSR graph in edge indexing");
+                    *slot = fwd[pos];
+                }
+            });
+
+        Ok(EdgeIndexedGraph {
+            graph,
+            arc_eid,
+            endpoints,
+        })
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Sorted neighbors of `u` (delegates to the CSR graph).
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        self.graph.neighbors(u)
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.graph.degree(u)
+    }
+
+    /// The per-arc edge-id slice for row `u`, aligned with
+    /// [`CsrGraph::neighbors`] of `u`.
+    #[inline]
+    pub fn arc_eids(&self, u: VertexId) -> &[EdgeId] {
+        let base = self.graph.offset(u);
+        &self.arc_eid[base..base + self.graph.degree(u)]
+    }
+
+    /// Raw per-arc edge-id array (parallel to [`CsrGraph::raw_neighbors`]).
+    #[inline]
+    pub fn raw_arc_eids(&self) -> &[EdgeId] {
+        &self.arc_eid
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[e as usize]
+    }
+
+    /// The full endpoint table, indexed by edge id.
+    #[inline]
+    pub fn endpoint_table(&self) -> &[(VertexId, VertexId)] {
+        &self.endpoints
+    }
+
+    /// Edge id of `{u, v}`, if the edge exists (binary search in the smaller
+    /// adjacency list — the "neighborhood list" lookup of C-Optimal).
+    #[inline]
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u as usize >= self.num_vertices() || v as usize >= self.num_vertices() || u == v {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let row = self.graph.neighbors(a);
+        row.binary_search(&b)
+            .ok()
+            .map(|r| self.arc_eid[self.graph.offset(a) + r])
+    }
+
+    /// Iterates `(v, eid)` pairs over the neighborhood of `u`.
+    #[inline]
+    pub fn neighbors_with_eids(
+        &self,
+        u: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.graph
+            .neighbors(u)
+            .iter()
+            .copied()
+            .zip(self.arc_eids(u).iter().copied())
+    }
+
+    /// Iterates every `(eid, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (e as EdgeId, u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> EdgeIndexedGraph {
+        // Two triangles sharing vertex 2, plus a pendant.
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)],
+        )
+        .build();
+        EdgeIndexedGraph::new(g)
+    }
+
+    #[test]
+    fn ids_are_lexicographic_and_dense() {
+        let eg = sample();
+        let expected: Vec<(VertexId, VertexId)> = eg.graph().edges().collect();
+        for (e, u, v) in eg.edges() {
+            assert_eq!(expected[e as usize], (u, v));
+        }
+        assert_eq!(eg.num_edges(), expected.len());
+    }
+
+    #[test]
+    fn both_arcs_share_id() {
+        let eg = sample();
+        for (e, u, v) in eg.edges() {
+            let fwd = eg
+                .neighbors_with_eids(u)
+                .find(|&(w, _)| w == v)
+                .unwrap()
+                .1;
+            let bwd = eg
+                .neighbors_with_eids(v)
+                .find(|&(w, _)| w == u)
+                .unwrap()
+                .1;
+            assert_eq!(fwd, e);
+            assert_eq!(bwd, e);
+        }
+    }
+
+    #[test]
+    fn edge_id_lookup() {
+        let eg = sample();
+        for (e, u, v) in eg.edges() {
+            assert_eq!(eg.edge_id(u, v), Some(e));
+            assert_eq!(eg.edge_id(v, u), Some(e));
+        }
+        assert_eq!(eg.edge_id(0, 5), None);
+        assert_eq!(eg.edge_id(0, 0), None);
+        assert_eq!(eg.edge_id(0, 100), None);
+    }
+
+    #[test]
+    fn endpoints_roundtrip() {
+        let eg = sample();
+        for (e, u, v) in eg.edges() {
+            assert_eq!(eg.endpoints(e), (u, v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_indexes() {
+        let eg = EdgeIndexedGraph::new(CsrGraph::empty(3));
+        assert_eq!(eg.num_edges(), 0);
+        assert_eq!(eg.edge_id(0, 1), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Plain edge-list container with canonicalization helpers.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// A mutable list of undirected edges, convertible to [`CsrGraph`].
+///
+/// Useful for generators and I/O, which naturally produce edge streams before
+/// the CSR form exists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// An empty list over `n` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing vector of edges.
+    pub fn from_vec(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        EdgeList {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Declared vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Raw (possibly duplicated, possibly self-looped) edges.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Number of buffered (raw) edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Appends an edge (unchecked; canonicalization happens in
+    /// [`EdgeList::build`]).
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Grows the declared vertex count to cover every referenced endpoint.
+    pub fn fit_vertices(&mut self) {
+        let max = self
+            .edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        self.num_vertices = self.num_vertices.max(max);
+    }
+
+    /// Canonicalizes into a simple undirected [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.fit_vertices();
+        GraphBuilder::from_edges(self.num_vertices, &self.edges).build()
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for EdgeList {
+    fn from_iter<T: IntoIterator<Item = (VertexId, VertexId)>>(iter: T) -> Self {
+        let mut el = EdgeList::new(0);
+        for (u, v) in iter {
+            el.push(u, v);
+        }
+        el.fit_vertices();
+        el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_vertices_covers_endpoints() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 7);
+        el.fit_vertices();
+        assert_eq!(el.num_vertices(), 8);
+    }
+
+    #[test]
+    fn build_canonicalizes() {
+        let g = EdgeList::from_vec(0, vec![(1, 0), (0, 1), (2, 2), (1, 2)]).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let el: EdgeList = vec![(0, 1), (1, 2)].into_iter().collect();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.len(), 2);
+        assert!(!el.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Graph file I/O: SNAP-style text edge lists and a compact binary format.
+//!
+//! The paper loads SNAP datasets (Table 3). This module reads the same
+//! whitespace-separated `u v` text format (with `#` comment lines) and also
+//! provides a fast binary round-trip format so generated benchmark graphs can
+//! be cached between harness runs.
+
+use crate::{CsrGraph, EdgeList, GraphError, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a SNAP-style text edge list into an [`EdgeList`].
+///
+/// Lines starting with `#` or `%` are comments; blank lines are skipped; each
+/// remaining line must contain two whitespace-separated vertex ids.
+pub fn read_text_edge_list<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
+    let file = std::fs::File::open(path)?;
+    parse_text_edge_list(BufReader::new(file))
+}
+
+/// Parses the text edge-list format from any reader.
+pub fn parse_text_edge_list<R: BufRead>(mut reader: R) -> Result<EdgeList, GraphError> {
+    let mut el = EdgeList::new(0);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<VertexId, GraphError> {
+            let tok = tok.ok_or(GraphError::Parse {
+                line: lineno,
+                message: "expected two vertex ids".into(),
+            })?;
+            tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
+                line: lineno,
+                message: format!("bad vertex id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        el.push(u, v);
+    }
+    el.fit_vertices();
+    Ok(el)
+}
+
+/// Writes a graph as a text edge list (one `u v` line per undirected edge).
+pub fn write_text_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(
+        w,
+        "# undirected simple graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"ETCSRv01";
+
+/// Writes the CSR arrays in a compact little-endian binary format.
+pub fn write_binary<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_arcs() as u64).to_le_bytes())?;
+    for &o in graph.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &v in graph.raw_neighbors() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_binary`].
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "bad magic in binary graph file".into(),
+        });
+    }
+    let n = read_u64(&mut r)? as usize;
+    let arcs = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut neighbors = Vec::with_capacity(arcs);
+    let mut buf = [0u8; 4];
+    for _ in 0..arcs {
+        r.read_exact(&mut buf)?;
+        neighbors.push(VertexId::from_le_bytes(buf));
+    }
+    let g = CsrGraph::from_raw(offsets, neighbors);
+    g.validate().map_err(|m| GraphError::Parse {
+        line: 0,
+        message: format!("invalid graph in binary file: {m}"),
+    })?;
+    Ok(g)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use std::io::Cursor;
+
+    fn sample() -> CsrGraph {
+        GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).build()
+    }
+
+    #[test]
+    fn parse_with_comments_and_blanks() {
+        let text = "# snap header\n% another comment\n\n0 1\n1\t2\n 2 0 \n";
+        let el = parse_text_edge_list(Cursor::new(text)).unwrap();
+        let g = el.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let text = "0 1\nbogus line\n";
+        match parse_text_edge_list(Cursor::new(text)) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_missing_second_endpoint() {
+        assert!(parse_text_edge_list(Cursor::new("7\n")).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("et_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_text_edge_list(&g, &path).unwrap();
+        let g2 = read_text_edge_list(&path).unwrap().build();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("et_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let dir = std::env::temp_dir().join("et_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a graph file at all").unwrap();
+        assert!(read_binary(&path).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Packed 64-bit representation of an undirected edge.
+//!
+//! The paper's *Baseline* EquiTruss keeps trussness and parent-component
+//! dictionaries keyed by the edge itself (a hashmap over the whole edge set,
+//! §3.3). The Rust analog used in `et-core::baseline` is a sorted array of
+//! packed `(min, max)` keys searched by binary search; this module is the
+//! shared key encoding.
+
+use crate::VertexId;
+
+/// Packs an undirected edge into a sortable `u64` key: high 32 bits hold
+/// `min(u, v)`, low 32 bits hold `max(u, v)`.
+#[inline]
+pub fn pack_edge(u: VertexId, v: VertexId) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | (b as u64)
+}
+
+/// Inverse of [`pack_edge`]: returns `(min, max)`.
+#[inline]
+pub fn unpack_edge(key: u64) -> (VertexId, VertexId) {
+    ((key >> 32) as VertexId, key as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &(u, v) in &[(0, 0), (0, 1), (7, 3), (u32::MAX, 0), (5, u32::MAX)] {
+            let k = pack_edge(u, v);
+            let (a, b) = unpack_edge(k);
+            assert_eq!((a, b), (u.min(v), u.max(v)));
+        }
+    }
+
+    #[test]
+    fn order_is_lexicographic() {
+        assert!(pack_edge(0, 5) < pack_edge(0, 6));
+        assert!(pack_edge(0, u32::MAX) < pack_edge(1, 2));
+        assert!(pack_edge(3, 7) == pack_edge(7, 3));
+    }
+}

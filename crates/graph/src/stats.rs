@@ -1,0 +1,87 @@
+//! Descriptive statistics for graphs (Table 3-style dataset summaries).
+
+use crate::{CsrGraph, VertexId};
+use serde::Serialize;
+
+/// Summary statistics of a graph, mirroring the dataset columns the paper
+/// reports in Table 3 plus skew indicators that drive kernel behaviour.
+#[derive(Clone, Debug, Serialize, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree (2m / n).
+    pub avg_degree: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated_vertices: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for u in 0..n {
+            let d = graph.degree(u as VertexId);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            max_degree,
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            isolated_vertices: isolated,
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for u in 0..graph.num_vertices() {
+        hist[graph.degree(u as VertexId)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_star() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 6);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.isolated_vertices, 1);
+        assert!((s.avg_degree - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).build();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 1); // vertex 4
+        assert_eq!(h[1], 2); // vertices 0, 3
+        assert_eq!(h[2], 2); // vertices 1, 2
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = GraphStats::compute(&CsrGraph::empty(0));
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Sorted-set intersection kernels.
+//!
+//! The Support kernel is dominated by adjacency-list intersections; the best
+//! strategy depends on the length ratio of the two lists. Three kernels are
+//! provided plus an adaptive dispatcher ([`intersect_into`] /
+//! [`intersect_count`]) that switches to galloping when the lists are very
+//! unbalanced — the regime of skewed social graphs.
+
+use et_graph::VertexId;
+
+/// Length-ratio threshold above which galloping beats merging.
+const GALLOP_RATIO: usize = 32;
+
+/// Linear merge intersection; appends common elements to `out`.
+pub fn merge_intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Linear merge intersection returning only the count.
+pub fn merge_intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j) = (0, 0);
+    let mut c = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Binary-probe intersection: for each element of the smaller list `small`,
+/// binary-search the larger list. O(|small| · log |large|).
+pub fn binary_intersect_into(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    for &x in small {
+        if large.binary_search(&x).is_ok() {
+            out.push(x);
+        }
+    }
+}
+
+/// Galloping (exponential-search) intersection: walks the smaller list and
+/// gallops through the larger one, exploiting locality between consecutive
+/// probes. O(|small| · log(|large| / |small|)) — the right kernel when one
+/// endpoint is a hub.
+pub fn gallop_intersect_into(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut base = 0usize;
+    for &x in small {
+        base = gallop_to(large, base, x);
+        if base >= large.len() {
+            break;
+        }
+        if large[base] == x {
+            out.push(x);
+            base += 1;
+        }
+    }
+}
+
+/// First index `i >= from` with `large[i] >= x` (or `large.len()`), found by
+/// exponential probing followed by a bounded partition-point search.
+#[inline]
+fn gallop_to(large: &[VertexId], from: usize, x: VertexId) -> usize {
+    let mut lo = from; // everything before `lo` is known < x
+    let mut cur = from;
+    let mut step = 1usize;
+    while cur < large.len() && large[cur] < x {
+        lo = cur + 1;
+        cur += step;
+        step <<= 1;
+    }
+    let hi = cur.min(large.len());
+    lo + large[lo..hi].partition_point(|&y| y < x)
+}
+
+/// Adaptive intersection into a buffer: merge when balanced, gallop when
+/// lopsided. `a` and `b` may be given in either order.
+#[inline]
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len().max(1) >= GALLOP_RATIO {
+        gallop_intersect_into(small, large, out);
+    } else {
+        merge_intersect_into(small, large, out);
+    }
+}
+
+/// Adaptive intersection count.
+#[inline]
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len().max(1) >= GALLOP_RATIO {
+        let mut buf = Vec::with_capacity(small.len().min(8));
+        gallop_intersect_into(small, large, &mut buf);
+        buf.len()
+    } else {
+        merge_intersect_count(small, large)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(a: &[VertexId], b: &[VertexId], expected: &[VertexId]) {
+        let mut out = Vec::new();
+        merge_intersect_into(a, b, &mut out);
+        assert_eq!(out, expected, "merge failed");
+        assert_eq!(merge_intersect_count(a, b), expected.len());
+
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        out.clear();
+        binary_intersect_into(small, large, &mut out);
+        assert_eq!(out, expected, "binary failed");
+
+        out.clear();
+        gallop_intersect_into(small, large, &mut out);
+        assert_eq!(out, expected, "gallop failed");
+
+        out.clear();
+        intersect_into(a, b, &mut out);
+        assert_eq!(out, expected, "adaptive failed");
+        assert_eq!(intersect_count(a, b), expected.len());
+    }
+
+    #[test]
+    fn basic_overlap() {
+        check_all(&[1, 3, 5, 7], &[2, 3, 4, 5, 6], &[3, 5]);
+    }
+
+    #[test]
+    fn disjoint() {
+        check_all(&[1, 2, 3], &[4, 5, 6], &[]);
+        check_all(&[4, 5, 6], &[1, 2, 3], &[]);
+    }
+
+    #[test]
+    fn identical() {
+        check_all(&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_sides() {
+        check_all(&[], &[1, 2], &[]);
+        check_all(&[1, 2], &[], &[]);
+        check_all(&[], &[], &[]);
+    }
+
+    #[test]
+    fn lopsided_triggers_gallop() {
+        let small: Vec<VertexId> = vec![10, 500, 999];
+        let large: Vec<VertexId> = (0..1000).collect();
+        check_all(&small, &large, &[10, 500, 999]);
+    }
+
+    #[test]
+    fn gallop_beyond_end() {
+        let small: Vec<VertexId> = vec![50, 200];
+        let large: Vec<VertexId> = (0..100).collect();
+        check_all(&small, &large, &[50]);
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let mut a: Vec<VertexId> = (0..rng.gen_range(0..60))
+                .map(|_| rng.gen_range(0..100))
+                .collect();
+            let mut b: Vec<VertexId> = (0..rng.gen_range(0..2000))
+                .map(|_| rng.gen_range(0..3000))
+                .collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let expected: Vec<VertexId> = a
+                .iter()
+                .copied()
+                .filter(|x| b.binary_search(x).is_ok())
+                .collect();
+            check_all(&a, &b, &expected);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # et-triangle — triangle and edge-support kernels
+//!
+//! The EquiTruss pipeline starts from the *Support* kernel (Fig. 2/4 of the
+//! paper): for every undirected edge `e = (u, v)`, `support(e) = |N(u) ∩
+//! N(v)|` — the number of triangles containing `e` (Definition 2). This crate
+//! provides:
+//!
+//! * [`intersect`] — sorted-set intersection kernels (merge, binary-probe,
+//!   galloping) with an adaptive dispatcher,
+//! * [`support`] — the parallel Support kernel over an [`et_graph::EdgeIndexedGraph`],
+//! * [`count`] — global triangle counting (node- and edge-iterator),
+//! * [`enumerate`] — per-edge triangle enumeration used by the SpNode /
+//!   SpEdge kernels, including the trussness-filtered variant that realizes
+//!   k-triangle connectivity (Definition 6).
+
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod enumerate;
+pub mod intersect;
+pub mod support;
+
+pub use count::{count_triangles, count_triangles_per_vertex};
+pub use enumerate::{for_each_triangle_of_edge, for_each_truss_triangle_of_edge};
+pub use support::{compute_support, compute_support_serial};

@@ -1,0 +1,103 @@
+//! Truss-hierarchy statistics: how the graph contracts as k grows.
+//!
+//! Used by the harness to characterize datasets (the trussness spectrum
+//! drives the EquiTruss kernels: many k-levels → many Φ_k groups) and by
+//! applications choosing a query level k.
+
+use crate::TrussDecomposition;
+use et_graph::{EdgeIndexedGraph, VertexId};
+
+/// Size of one level of the truss hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrussLevel {
+    /// The level k.
+    pub k: u32,
+    /// Number of edges in the maximal k-truss (τ ≥ k).
+    pub edges: usize,
+    /// Number of distinct vertices covered by those edges.
+    pub vertices: usize,
+}
+
+/// The nested k-truss sizes for k = 2 ..= k_max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrussHierarchy {
+    /// Levels in ascending k.
+    pub levels: Vec<TrussLevel>,
+}
+
+impl TrussHierarchy {
+    /// Computes the hierarchy of `graph` under `decomposition`.
+    pub fn compute(graph: &EdgeIndexedGraph, decomposition: &TrussDecomposition) -> Self {
+        let kmax = decomposition.max_trussness.max(2);
+        let mut levels = Vec::new();
+        for k in 2..=kmax {
+            let mut edges = 0usize;
+            let mut verts: Vec<VertexId> = Vec::new();
+            for (e, &t) in decomposition.trussness.iter().enumerate() {
+                if t >= k {
+                    edges += 1;
+                    let (u, v) = graph.endpoints(e as u32);
+                    verts.push(u);
+                    verts.push(v);
+                }
+            }
+            verts.sort_unstable();
+            verts.dedup();
+            levels.push(TrussLevel {
+                k,
+                edges,
+                vertices: verts.len(),
+            });
+        }
+        TrussHierarchy { levels }
+    }
+
+    /// The level entry for a specific k, if within range.
+    pub fn level(&self, k: u32) -> Option<&TrussLevel> {
+        self.levels.iter().find(|l| l.k == k)
+    }
+
+    /// Nesting invariant: each level's edge set contains the next one.
+    pub fn is_monotone(&self) -> bool {
+        self.levels
+            .windows(2)
+            .all(|w| w[0].edges >= w[1].edges && w[0].vertices >= w[1].vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose_serial;
+    use et_gen::fixtures;
+
+    #[test]
+    fn paper_example_hierarchy() {
+        let eg = EdgeIndexedGraph::new(fixtures::paper_example().graph.clone());
+        let d = decompose_serial(&eg);
+        let h = TrussHierarchy::compute(&eg, &d);
+        assert!(h.is_monotone());
+        assert_eq!(h.level(2).unwrap().edges, 27);
+        assert_eq!(h.level(3).unwrap().edges, 27);
+        assert_eq!(h.level(4).unwrap().edges, 24);
+        assert_eq!(h.level(5).unwrap().edges, 10);
+        assert_eq!(h.level(5).unwrap().vertices, 5);
+        assert!(h.level(6).is_none());
+    }
+
+    #[test]
+    fn monotone_on_random() {
+        let eg = EdgeIndexedGraph::new(et_gen::gnm(80, 500, 3));
+        let d = decompose_serial(&eg);
+        assert!(TrussHierarchy::compute(&eg, &d).is_monotone());
+    }
+
+    #[test]
+    fn triangle_free_has_single_level() {
+        let eg = EdgeIndexedGraph::new(fixtures::bipartite(3, 3).graph.clone());
+        let d = decompose_serial(&eg);
+        let h = TrussHierarchy::compute(&eg, &d);
+        assert_eq!(h.levels.len(), 1);
+        assert_eq!(h.levels[0].k, 2);
+    }
+}

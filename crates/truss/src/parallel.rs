@@ -1,0 +1,191 @@
+//! Parallel k-truss decomposition (level-synchronous peeling).
+//!
+//! Follows the PKT scheme (Kabir & Madduri — reference [24] of the paper):
+//! peel all edges whose remaining support equals the current level `l`
+//! together, in rounds, using atomic support counters clamped at `l`. Edges
+//! peeled at level `l` get trussness `l + 2`. The output is identical to the
+//! serial decomposition because truss decomposition is unique.
+//!
+//! The delicate part is triangle double-counting when several edges of one
+//! triangle peel in the same round; the tie-breaking rules below are the
+//! standard PKT resolution (lowest edge id of the in-frontier pair does the
+//! decrement).
+
+use crate::TrussDecomposition;
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::{compute_support, for_each_triangle_of_edge};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Parallel level-synchronous truss decomposition.
+pub fn decompose_parallel(graph: &EdgeIndexedGraph) -> TrussDecomposition {
+    let support = compute_support(graph);
+    decompose_parallel_with_support(graph, support)
+}
+
+/// Parallel peeling when the Support kernel already ran.
+pub fn decompose_parallel_with_support(
+    graph: &EdgeIndexedGraph,
+    support: Vec<u32>,
+) -> TrussDecomposition {
+    let m = graph.num_edges();
+    if m == 0 {
+        return TrussDecomposition::new(Vec::new());
+    }
+    let max_sup = support.iter().copied().max().unwrap_or(0);
+    let support: Vec<AtomicU32> = support.into_iter().map(AtomicU32::new).collect();
+    // processed: peeled in an earlier round. in_cur: peeling right now.
+    let processed: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let in_cur: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let trussness: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+
+    let mut remaining = m;
+    let mut level: u32 = 0;
+    while remaining > 0 && level <= max_sup {
+        // Initial frontier for this level: alive edges at exactly `level`.
+        let mut frontier: Vec<EdgeId> = (0..m as u32)
+            .into_par_iter()
+            .filter(|&e| {
+                !processed[e as usize].load(Ordering::Relaxed)
+                    && support[e as usize].load(Ordering::Relaxed) == level
+            })
+            .collect();
+
+        while !frontier.is_empty() {
+            for &e in &frontier {
+                in_cur[e as usize].store(true, Ordering::Relaxed);
+            }
+            // Process the round: decrement surviving triangle partners.
+            let next: Vec<EdgeId> = frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc, &e| {
+                    for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+                        let (i1, i2) = (e1 as usize, e2 as usize);
+                        if processed[i1].load(Ordering::Relaxed)
+                            || processed[i2].load(Ordering::Relaxed)
+                        {
+                            return;
+                        }
+                        let c1 = in_cur[i1].load(Ordering::Relaxed);
+                        let c2 = in_cur[i2].load(Ordering::Relaxed);
+                        match (c1, c2) {
+                            (true, true) => {} // whole triangle peels together
+                            (true, false) => {
+                                // e and e1 peel; exactly one of them (the
+                                // smaller id) decrements e2.
+                                if e < e1 {
+                                    decrement(&support[i2], level, e2, &mut acc);
+                                }
+                            }
+                            (false, true) => {
+                                if e < e2 {
+                                    decrement(&support[i1], level, e1, &mut acc);
+                                }
+                            }
+                            (false, false) => {
+                                decrement(&support[i1], level, e1, &mut acc);
+                                decrement(&support[i2], level, e2, &mut acc);
+                            }
+                        }
+                    });
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+
+            // Retire the round.
+            frontier.par_iter().for_each(|&e| {
+                let i = e as usize;
+                trussness[i].store(level + 2, Ordering::Relaxed);
+                processed[i].store(true, Ordering::Relaxed);
+                in_cur[i].store(false, Ordering::Relaxed);
+            });
+            remaining -= frontier.len();
+            frontier = next;
+        }
+        level += 1;
+    }
+
+    TrussDecomposition::new(
+        trussness
+            .into_iter()
+            .map(|a| a.into_inner())
+            .collect::<Vec<u32>>(),
+    )
+}
+
+/// Atomically decrements `slot` without going below `floor`; if this call is
+/// the one that lands exactly on `floor`, the edge joins the next round via
+/// `acc` (exactly-once: only the successful floor-hitting CAS pushes).
+#[inline]
+fn decrement(slot: &AtomicU32, floor: u32, e: EdgeId, acc: &mut Vec<EdgeId>) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        if cur <= floor {
+            return; // already at (or queued for) this level
+        }
+        match slot.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                if cur - 1 == floor {
+                    acc.push(e);
+                }
+                return;
+            }
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose_serial;
+    use et_gen::fixtures;
+    use et_graph::{EdgeIndexedGraph, GraphBuilder};
+
+    #[test]
+    fn matches_serial_on_fixtures() {
+        for f in fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            let s = decompose_serial(&eg);
+            let p = decompose_parallel(&eg);
+            assert_eq!(s, p, "fixture {}", f.name);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_random_graphs() {
+        for seed in 0..8 {
+            let g = EdgeIndexedGraph::new(et_gen::gnm(100, 700, seed));
+            assert_eq!(
+                decompose_serial(&g),
+                decompose_parallel(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_collaboration_graph() {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(300, 60, (3, 8), 100, 4));
+        assert_eq!(decompose_serial(&g), decompose_parallel(&g));
+    }
+
+    #[test]
+    fn shared_edge_cliques() {
+        let f = fixtures::two_cliques_shared_edge();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let d = decompose_parallel(&eg);
+        assert!(d.trussness.iter().all(|&t| t == 5));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let g = EdgeIndexedGraph::new(GraphBuilder::new(3).build());
+        assert!(decompose_parallel(&g).trussness.is_empty());
+        let g1 = EdgeIndexedGraph::new(GraphBuilder::from_edges(2, &[(0, 1)]).build());
+        assert_eq!(decompose_parallel(&g1).trussness, vec![2]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Serial k-truss decomposition by bucket peeling.
+//!
+//! The classic Wang–Cheng algorithm: process edges in non-decreasing order of
+//! remaining support; when edge e is peeled with remaining support s, its
+//! trussness is s + 2, and the supports of the other two edges of each still-
+//! alive triangle through e drop by one. Buckets give O(1) reordering, so the
+//! whole pass is O(Σ min(deg(u), deg(v))) ≈ O(|E|^1.5) on top of the Support
+//! kernel.
+
+use crate::TrussDecomposition;
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::{compute_support_serial, for_each_triangle_of_edge};
+
+/// Serial bucket-peeling truss decomposition.
+pub fn decompose_serial(graph: &EdgeIndexedGraph) -> TrussDecomposition {
+    let support = compute_support_serial(graph);
+    decompose_serial_with_support(graph, support)
+}
+
+/// Serial peeling when the Support kernel already ran (lets the harness time
+/// the two kernels separately, as Fig. 2 does).
+pub fn decompose_serial_with_support(
+    graph: &EdgeIndexedGraph,
+    mut support: Vec<u32>,
+) -> TrussDecomposition {
+    let m = graph.num_edges();
+    if m == 0 {
+        return TrussDecomposition::new(Vec::new());
+    }
+    let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort edges by support: vert = edges ordered by support,
+    // pos[e] = position of e in vert, bin[s] = start of bucket s.
+    let mut bin = vec![0usize; max_sup + 2];
+    for &s in &support {
+        bin[s as usize + 1] += 1;
+    }
+    for s in 0..=max_sup {
+        bin[s + 1] += bin[s];
+    }
+    let mut pos = vec![0usize; m];
+    let mut vert = vec![0 as EdgeId; m];
+    {
+        let mut cursor = bin.clone();
+        for e in 0..m {
+            let s = support[e] as usize;
+            pos[e] = cursor[s];
+            vert[cursor[s]] = e as EdgeId;
+            cursor[s] += 1;
+        }
+    }
+
+    let mut trussness = vec![0u32; m];
+    let mut peeled = vec![false; m];
+
+    for i in 0..m {
+        let e = vert[i];
+        let s = support[e as usize];
+        trussness[e as usize] = s + 2;
+        peeled[e as usize] = true;
+
+        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+            if peeled[e1 as usize] || peeled[e2 as usize] {
+                return;
+            }
+            for &f in &[e1, e2] {
+                let fe = f as usize;
+                // Clamp at the peel level: supports never drop below s, which
+                // keeps assigned trussness monotone (Batagelj–Zaversnik
+                // style clamping, as in the degeneracy ordering).
+                if support[fe] > s {
+                    let sf = support[fe] as usize;
+                    let pf = pos[fe];
+                    let pw = bin[sf];
+                    let w = vert[pw];
+                    if f != w {
+                        vert.swap(pf, pw);
+                        pos[fe] = pw;
+                        pos[w as usize] = pf;
+                    }
+                    bin[sf] += 1;
+                    support[fe] -= 1;
+                }
+            }
+        });
+    }
+    TrussDecomposition::new(trussness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_gen::fixtures;
+    use et_graph::{EdgeIndexedGraph, GraphBuilder};
+
+    fn decompose_edges(edges: &[(u32, u32)], n: usize) -> (EdgeIndexedGraph, TrussDecomposition) {
+        let g = EdgeIndexedGraph::new(GraphBuilder::from_edges(n, edges).build());
+        let d = decompose_serial(&g);
+        (g, d)
+    }
+
+    #[test]
+    fn single_triangle_is_3truss() {
+        let (_, d) = decompose_edges(&[(0, 1), (1, 2), (0, 2)], 3);
+        assert_eq!(d.trussness, vec![3, 3, 3]);
+        assert_eq!(d.max_trussness, 3);
+    }
+
+    #[test]
+    fn path_is_2truss() {
+        let (_, d) = decompose_edges(&[(0, 1), (1, 2)], 3);
+        assert_eq!(d.trussness, vec![2, 2]);
+    }
+
+    #[test]
+    fn all_fixtures_match_expected() {
+        for f in fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            let d = decompose_serial(&eg);
+            for (e, u, v) in eg.edges() {
+                assert_eq!(
+                    d.of(e),
+                    f.expected(u, v),
+                    "fixture {} edge ({u},{v})",
+                    f.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truss_edges_filters() {
+        let f = fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let d = decompose_serial(&eg);
+        let five: Vec<_> = d.truss_edges(5);
+        assert_eq!(five.len(), 10); // the K5
+        assert_eq!(d.truss_edges(3).len(), 27);
+        assert_eq!(d.truss_edges(6).len(), 0);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let f = fixtures::paper_example();
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let d = decompose_serial(&eg);
+        assert_eq!(d.class_histogram(), vec![(3, 3), (4, 14), (5, 10)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (_, d) = decompose_edges(&[], 4);
+        assert!(d.trussness.is_empty());
+        assert_eq!(d.max_trussness, 0);
+    }
+}

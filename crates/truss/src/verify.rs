@@ -1,0 +1,194 @@
+//! Independent trussness oracle and decomposition checker.
+//!
+//! [`brute_force_trussness`] recomputes τ by direct fixpoint iteration per k
+//! — no buckets, no atomics, no shared code path with the real
+//! implementations — so agreement is strong evidence of correctness.
+
+use crate::TrussDecomposition;
+use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_triangle::for_each_triangle_of_edge;
+
+/// Support of edge `e` counting only triangles whose other two edges are
+/// `alive`.
+fn alive_support(graph: &EdgeIndexedGraph, alive: &[bool], e: EdgeId) -> u32 {
+    let mut s = 0;
+    for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+        if alive[e1 as usize] && alive[e2 as usize] {
+            s += 1;
+        }
+    });
+    s
+}
+
+/// O(k_max · |E|^1.5) fixpoint oracle: for k = 3, 4, … repeatedly delete
+/// edges with fewer than k−2 surviving triangles until stable; an edge's
+/// trussness is the last k at which it survived (2 if it never survives k=3).
+pub fn brute_force_trussness(graph: &EdgeIndexedGraph) -> TrussDecomposition {
+    let m = graph.num_edges();
+    let mut trussness = vec![2u32; m];
+    let mut alive = vec![true; m];
+    let mut k = 3u32;
+    loop {
+        // Peel to the maximal k-truss within the currently alive subgraph.
+        loop {
+            let dead: Vec<EdgeId> = (0..m as u32)
+                .filter(|&e| alive[e as usize] && alive_support(graph, &alive, e) < k - 2)
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            for e in dead {
+                alive[e as usize] = false;
+            }
+        }
+        let survivors: Vec<EdgeId> = (0..m as u32).filter(|&e| alive[e as usize]).collect();
+        if survivors.is_empty() {
+            break;
+        }
+        for e in survivors {
+            trussness[e as usize] = k;
+        }
+        k += 1;
+    }
+    TrussDecomposition::new(trussness)
+}
+
+/// Verifies a decomposition against the defining properties of trussness:
+///
+/// 1. every edge with τ(e) ≥ k has ≥ k−2 triangles inside the subgraph
+///    `{e' : τ(e') ≥ k}` (so that subgraph is a k-truss containing e);
+/// 2. the subgraph `{e' : τ(e') ≥ k}` is *maximal*: peeling it at level
+///    k+1 kills every edge with τ exactly k (no edge is under-valued).
+///
+/// Returns `Err` with a description of the first violation.
+pub fn verify_decomposition(
+    graph: &EdgeIndexedGraph,
+    decomposition: &TrussDecomposition,
+) -> Result<(), String> {
+    let m = graph.num_edges();
+    if decomposition.trussness.len() != m {
+        return Err(format!(
+            "trussness array has {} entries for {} edges",
+            decomposition.trussness.len(),
+            m
+        ));
+    }
+    if m == 0 {
+        return Ok(());
+    }
+    let tau = &decomposition.trussness;
+    if let Some(&bad) = tau.iter().find(|&&t| t < 2) {
+        return Err(format!("trussness {bad} below the minimum of 2"));
+    }
+    // Derive kmax from the array (don't trust the cached field; check it).
+    let kmax = tau.iter().copied().max().unwrap_or(0);
+    if decomposition.max_trussness != kmax {
+        return Err(format!(
+            "max_trussness field {} disagrees with array max {kmax}",
+            decomposition.max_trussness
+        ));
+    }
+
+    // Property 1: support within each truss level.
+    for k in 3..=kmax {
+        let alive: Vec<bool> = tau.iter().map(|&t| t >= k).collect();
+        for e in 0..m as u32 {
+            if !alive[e as usize] {
+                continue;
+            }
+            let s = alive_support(graph, &alive, e);
+            if s < k - 2 {
+                let (u, v) = graph.endpoints(e);
+                return Err(format!(
+                    "edge ({u},{v}) has support {s} inside the {k}-truss, needs {}",
+                    k - 2
+                ));
+            }
+        }
+    }
+
+    // Property 2 (maximality): the exact-k edges must not survive peeling at
+    // k+1 together with the (k+1)-truss.
+    for k in 3..=kmax {
+        let mut alive: Vec<bool> = tau.iter().map(|&t| t >= k).collect();
+        loop {
+            let dead: Vec<u32> = (0..m as u32)
+                .filter(|&e| alive[e as usize] && alive_support(graph, &alive, e) < k - 1)
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            for e in dead {
+                alive[e as usize] = false;
+            }
+        }
+        for e in 0..m as u32 {
+            if alive[e as usize] && tau[e as usize] == k {
+                let (u, v) = graph.endpoints(e);
+                return Err(format!(
+                    "edge ({u},{v}) with τ = {k} survives a {}-truss (under-valued)",
+                    k + 1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose_parallel, decompose_serial};
+    use et_gen::fixtures;
+    use et_graph::EdgeIndexedGraph;
+
+    #[test]
+    fn oracle_matches_fixture_tables() {
+        for f in fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            let d = brute_force_trussness(&eg);
+            for (e, u, v) in eg.edges() {
+                assert_eq!(d.of(e), f.expected(u, v), "fixture {}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_pass_verification() {
+        for seed in 0..4 {
+            let g = EdgeIndexedGraph::new(et_gen::gnm(80, 500, seed));
+            for d in [decompose_serial(&g), decompose_parallel(&g)] {
+                verify_decomposition(&g, &d).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_peeling_on_random() {
+        for seed in 10..14 {
+            let g = EdgeIndexedGraph::new(et_gen::gnm(60, 350, seed));
+            assert_eq!(brute_force_trussness(&g), decompose_serial(&g));
+        }
+    }
+
+    #[test]
+    fn verification_rejects_wrong_values() {
+        let f = fixtures::clique(5);
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let mut d = decompose_serial(&eg);
+        d.trussness[0] = 4; // under-value one K5 edge
+        assert!(verify_decomposition(&eg, &d).is_err());
+
+        let mut d2 = decompose_serial(&eg);
+        d2.trussness[0] = 6; // over-value
+        assert!(verify_decomposition(&eg, &d2).is_err());
+    }
+
+    #[test]
+    fn verification_rejects_wrong_length() {
+        let f = fixtures::clique(4);
+        let eg = EdgeIndexedGraph::new(f.graph.clone());
+        let d = TrussDecomposition::new(vec![3; 2]);
+        assert!(verify_decomposition(&eg, &d).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build an EquiTruss index and query a vertex's communities.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parallel_equitruss::community::CommunityIndex;
+use parallel_equitruss::equitruss::Variant;
+use parallel_equitruss::graph::{EdgeIndexedGraph, GraphBuilder};
+
+fn main() {
+    // The paper's own running example (Figure 3): 11 vertices, 27 edges,
+    // trussness classes 3, 4 and 5.
+    let edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (2, 3), (2, 6), (2, 8),
+        (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6), (5, 7), (5, 10),
+        (6, 7), (6, 8), (6, 9), (6, 10), (7, 8), (7, 9), (7, 10), (8, 9),
+        (8, 10), (9, 10),
+    ];
+    let graph = EdgeIndexedGraph::new(GraphBuilder::from_edges(11, &edges).build());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // One call: support → k-truss decomposition → parallel EquiTruss index.
+    let index = CommunityIndex::build(graph, Variant::Afforest);
+    println!(
+        "index: {} supernodes, {} superedges",
+        index.supergraph().num_supernodes(),
+        index.supergraph().num_superedges()
+    );
+
+    // Local community search: which communities does vertex 5 belong to?
+    let q = 5;
+    for k in 3..=index.max_level(q).unwrap_or(2) {
+        let communities = index.communities_of(q, k);
+        println!("\nvertex {q}, k = {k}: {} community(ies)", communities.len());
+        for (i, c) in communities.iter().enumerate() {
+            let vs = c.vertices(index.graph());
+            println!(
+                "  community {i}: {} edges over vertices {:?}",
+                c.edges.len(),
+                vs
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # parallel-equitruss
+//!
+//! Umbrella crate for the Parallel EquiTruss reproduction (Faysal et al.,
+//! ICPP 2023): fast parallel index construction for k-truss-based local
+//! community detection.
+//!
+//! Re-exports every workspace crate under one roof so examples and downstream
+//! users can depend on a single package.
+
+pub use et_cc as cc;
+pub use et_community as community;
+pub use et_dynamic as dynamic;
+pub use et_core as equitruss;
+pub use et_gen as gen;
+pub use et_graph as graph;
+pub use et_triangle as triangle;
+pub use et_truss as truss;
