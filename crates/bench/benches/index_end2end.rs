@@ -11,13 +11,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     for name in ["amazon", "dblp"] {
         let graph = et_bench::dataset(name, 0.25);
         for variant in Variant::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), name),
-                &graph,
-                |b, g| {
-                    b.iter(|| black_box(build_index(g, variant).index.num_supernodes()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(variant.name(), name), &graph, |b, g| {
+                b.iter(|| black_box(build_index(g, variant).index.num_supernodes()));
+            });
         }
         let tau = et_truss::decompose_parallel(&graph).trussness;
         group.bench_with_input(BenchmarkId::new("Original", name), &graph, |b, g| {

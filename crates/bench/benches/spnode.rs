@@ -97,5 +97,9 @@ fn bench_afforest_partner_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spnode_variants, bench_afforest_partner_rounds);
+criterion_group!(
+    benches,
+    bench_spnode_variants,
+    bench_afforest_partner_rounds
+);
 criterion_main!(benches);

@@ -24,8 +24,11 @@ const ALL_EXPERIMENTS: [&str; 12] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] <experiment>...\n\
-         experiments: {} all",
+        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] [--trace-out FILE] \
+         <experiment>...\n\
+         experiments: {} all\n\
+         --trace-out FILE  record spans + counters across all experiments and write\n\
+         \u{20}                  chrome://tracing JSON to FILE (also enabled by ET_TRACE=1)",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
@@ -60,6 +64,9 @@ fn main() -> ExitCode {
             "--out" => {
                 out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             exp => wanted.push(exp.to_string()),
@@ -78,9 +85,20 @@ fn main() -> ExitCode {
         }
     }
 
+    et_obs::init_from_env();
+    if trace_out.is_some() {
+        et_obs::set_enabled(true);
+    }
+    // Spans and counters are reset per experiment so each report carries
+    // only its own metrics; the trace file accumulates everything (the
+    // shared epoch keeps the merged timeline monotonic).
+    let mut all_events: Vec<et_obs::TraceEvent> = Vec::new();
+    let mut all_metrics = et_obs::MetricsSnapshot::default();
+
     for name in &wanted {
+        et_obs::reset();
         let started = std::time::Instant::now();
-        let report: Report = match name.as_str() {
+        let mut report: Report = match name.as_str() {
             "fig2" => experiments::fig2::run(&opts),
             "table3" => experiments::table3::run(&opts),
             "fig4" => experiments::fig4::run(&opts),
@@ -95,11 +113,34 @@ fn main() -> ExitCode {
             "quality" => experiments::quality::run(&opts),
             _ => unreachable!("validated above"),
         };
+        if et_obs::enabled() {
+            let snap = et_obs::snapshot();
+            all_metrics.merge(&snap);
+            report.attach_metrics(snap);
+            all_events.append(&mut et_obs::take_events());
+        }
         report.print();
-        eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name} finished in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &out_dir {
             if let Err(e) = report.save_json(dir, name) {
                 eprintln!("warning: could not save {name}.json: {e}");
+            }
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        let trace = et_obs::ChromeTrace {
+            events: all_events,
+            metrics: all_metrics,
+        };
+        match trace.write(path) {
+            Ok(()) => eprintln!("trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }

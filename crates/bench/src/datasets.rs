@@ -20,8 +20,8 @@ pub fn cache_dir() -> PathBuf {
 /// # Panics
 /// Panics on unknown profile names — the harness validates names up front.
 pub fn dataset(name: &str, scale: f64) -> EdgeIndexedGraph {
-    let profile = et_gen::profile_by_name(name)
-        .unwrap_or_else(|| panic!("unknown dataset profile {name:?}"));
+    let profile =
+        et_gen::profile_by_name(name).unwrap_or_else(|| panic!("unknown dataset profile {name:?}"));
     let dir = cache_dir();
     let key = format!("{}-s{:.4}.bin", profile.name, scale);
     let path = dir.join(key);

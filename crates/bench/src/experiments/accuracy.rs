@@ -51,11 +51,7 @@ pub fn run(opts: &Opts) -> Report {
         }
         // Full definitional validation is O(m²)-ish; restrict to small sets.
         let definitional = if matches!(name, "amazon" | "dblp") {
-            match et_core::validate::validate_index(
-                &graph,
-                &decomposition.trussness,
-                &reference,
-            ) {
+            match et_core::validate::validate_index(&graph, &decomposition.trussness, &reference) {
                 Ok(()) => "ok".to_string(),
                 Err(e) => format!("FAIL: {e}"),
             }

@@ -14,7 +14,13 @@ use std::time::Instant;
 pub fn run(opts: &Opts) -> Report {
     let mut report = Report::new(
         "Figure 2 — Original EquiTruss kernel breakdown (% of total, 1 thread)",
-        &["network", "SupportComp.", "TrussDecomp.", "EquiTruss", "total"],
+        &[
+            "network",
+            "SupportComp.",
+            "TrussDecomp.",
+            "EquiTruss",
+            "total",
+        ],
     );
     report.note(super::scale_note(opts.scale));
     report.note("paper shape: EquiTruss % grows with graph size, rivaling TrussDecomp");
@@ -27,8 +33,7 @@ pub fn run(opts: &Opts) -> Report {
             let t_support = t0.elapsed();
 
             let t1 = Instant::now();
-            let decomposition =
-                et_truss::serial::decompose_serial_with_support(&graph, support);
+            let decomposition = et_truss::serial::decompose_serial_with_support(&graph, support);
             let t_truss = t1.elapsed();
 
             let t2 = Instant::now();

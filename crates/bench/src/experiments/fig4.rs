@@ -30,6 +30,7 @@ pub fn run(opts: &Opts) -> Report {
     for name in FIG4_ORDER {
         let graph = dataset(name, opts.scale);
         let timings = crate::with_threads(1, || build_index(&graph, Variant::Baseline).timings);
+        report.attach_timings(format!("{name}/baseline/t1"), timings);
         let total = fig4_total(&timings);
         let pct = |d: std::time::Duration| {
             format!("{:.1}%", 100.0 * d.as_secs_f64() / total.as_secs_f64())

@@ -18,16 +18,17 @@ pub fn run(opts: &Opts) -> Report {
         &header_refs,
     );
     report.note(super::scale_note(opts.scale));
-    report.note("paper shape: monotone decrease to 128 threads; Aff < C-Opt < Baseline at every width");
+    report.note(
+        "paper shape: monotone decrease to 128 threads; Aff < C-Opt < Baseline at every width",
+    );
 
     for name in SCALING_THREE {
         let graph = dataset(name, opts.scale);
         for variant in Variant::ALL {
             let mut row = vec![name.to_string(), variant.name().to_string()];
             for &t in &opts.threads {
-                let total = crate::with_threads(t, || {
-                    fig4_total(&build_index(&graph, variant).timings)
-                });
+                let total =
+                    crate::with_threads(t, || fig4_total(&build_index(&graph, variant).timings));
                 row.push(crate::report::fmt_duration(total));
             }
             report.push_row(row);

@@ -23,8 +23,7 @@ pub fn run(opts: &Opts) -> Report {
     for variant in [Variant::COptimal, Variant::Afforest] {
         let mut row = vec![format!("SpNode ({})", variant.name())];
         for &t in &opts.threads {
-            let spnode =
-                crate::with_threads(t, || build_index(&graph, variant).timings.spnode);
+            let spnode = crate::with_threads(t, || build_index(&graph, variant).timings.spnode);
             row.push(crate::report::fmt_duration(spnode));
         }
         report.push_row(row);

@@ -27,7 +27,9 @@ pub fn run(opts: &Opts) -> Report {
 
     let mut report = Report::new(
         "Figure 8 — SpNode/SpEdge/SmGraph breakdown vs threads",
-        &["network", "threads", "variant", "SpNode", "SpEdge", "SmGraph"],
+        &[
+            "network", "threads", "variant", "SpNode", "SpEdge", "SmGraph",
+        ],
     );
     report.note(super::scale_note(opts.scale));
     report.note("paper shape: SpNode dominates at 1 thread and shrinks fastest with threads");
@@ -36,8 +38,8 @@ pub fn run(opts: &Opts) -> Report {
         let graph = dataset(name, opts.scale);
         for &t in &picks {
             for variant in Variant::ALL {
-                let timings =
-                    crate::with_threads(t, || build_index(&graph, variant).timings);
+                let timings = crate::with_threads(t, || build_index(&graph, variant).timings);
+                report.attach_timings(format!("{name}/{}/t{t}", variant.name()), timings);
                 report.push_row(vec![
                     name.to_string(),
                     t.to_string(),

@@ -45,6 +45,8 @@ pub fn fig4_total(t: &KernelTimings) -> Duration {
 pub fn scale_note(scale: f64) -> String {
     format!(
         "synthetic SNAP analogs (see DESIGN.md), scale = {scale}; host parallelism = {}",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     )
 }

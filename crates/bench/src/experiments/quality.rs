@@ -32,7 +32,9 @@ pub fn run(opts: &Opts) -> Report {
         ],
     );
     report.note(super::scale_note(opts.scale));
-    report.note("paper motivation: k-core blobs are huge and sparse; k-truss circles are small and dense");
+    report.note(
+        "paper motivation: k-core blobs are huge and sparse; k-truss circles are small and dense",
+    );
 
     let k = 4u32;
     for name in ["amazon", "dblp", "youtube"] {

@@ -1,6 +1,7 @@
 //! Tabular experiment reports: aligned console output + JSON persistence.
 
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// A titled table of experiment results.
@@ -14,6 +15,14 @@ pub struct Report {
     pub headers: Vec<String>,
     /// Data rows (pre-formatted strings).
     pub rows: Vec<Vec<String>>,
+    /// Per-configuration kernel timings (label → per-kernel seconds),
+    /// machine-readable counterpart of the formatted duration cells.
+    #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+    pub timings: BTreeMap<String, et_core::KernelTimings>,
+    /// Observability counters recorded while the experiment ran (present
+    /// only when tracing was enabled).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<et_obs::MetricsSnapshot>,
 }
 
 impl Report {
@@ -24,6 +33,8 @@ impl Report {
             notes: Vec::new(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            timings: BTreeMap::new(),
+            metrics: None,
         }
     }
 
@@ -36,6 +47,20 @@ impl Report {
     pub fn push_row(&mut self, row: Vec<String>) {
         assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(row);
+    }
+
+    /// Records the kernel timings behind one row/configuration, keyed by a
+    /// human-readable label (e.g. `"afforest/t8"`).
+    pub fn attach_timings(&mut self, label: impl Into<String>, timings: et_core::KernelTimings) {
+        self.timings.insert(label.into(), timings);
+    }
+
+    /// Attaches the metrics snapshot captured for this experiment. Empty
+    /// snapshots (tracing off) are dropped so the JSON stays clean.
+    pub fn attach_metrics(&mut self, snapshot: et_obs::MetricsSnapshot) {
+        if !snapshot.is_empty() {
+            self.metrics = Some(snapshot);
+        }
     }
 
     /// Renders as an aligned plain-text table.
@@ -61,7 +86,9 @@ impl Report {
         };
         out.push_str(&fmt_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -138,5 +165,39 @@ mod tests {
         r.save_json(&dir, "t").unwrap();
         let loaded = std::fs::read_to_string(dir.join("t.json")).unwrap();
         assert!(loaded.contains("hello"));
+        // Empty timings/metrics are skipped entirely.
+        assert!(!loaded.contains("timings"));
+        assert!(!loaded.contains("metrics"));
+    }
+
+    #[test]
+    fn timings_serialize_as_seconds() {
+        let mut r = Report::new("t", &["a"]);
+        let kt = et_core::KernelTimings {
+            spnode: Duration::from_millis(1500),
+            support: Duration::from_millis(250),
+            ..Default::default()
+        };
+        r.attach_timings("orkut/afforest/t8", kt);
+        let json = serde_json::to_value(&r).unwrap();
+        let t = &json["timings"]["orkut/afforest/t8"];
+        assert_eq!(t["spnode"], 1.5);
+        assert_eq!(t["support"], 0.25);
+        assert_eq!(t["smgraph"], 0.0);
+        assert_eq!(t["index_construction"], 1.5);
+        assert_eq!(t["total"], 1.75);
+    }
+
+    #[test]
+    fn metrics_attach_and_serialize() {
+        let mut r = Report::new("t", &["a"]);
+        // Empty snapshots are dropped.
+        r.attach_metrics(et_obs::MetricsSnapshot::default());
+        assert!(r.metrics.is_none());
+        let mut snap = et_obs::MetricsSnapshot::default();
+        snap.counters.insert("sv.grafts".into(), 42);
+        r.attach_metrics(snap);
+        let json = serde_json::to_value(&r).unwrap();
+        assert_eq!(json["metrics"]["counters"]["sv.grafts"], 42);
     }
 }

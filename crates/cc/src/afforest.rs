@@ -61,14 +61,20 @@ pub fn afforest<A: Adjacency + ?Sized>(adj: &A, config: AfforestConfig) -> Vec<u
 
     // Phase 3: finish the remaining neighbors of nodes outside the giant
     // component.
+    let tracing = et_obs::enabled();
+    let giant_skips = std::sync::atomic::AtomicU64::new(0);
     (0..n).into_par_iter().for_each(|u| {
         if dsu.find(u as u32) == giant {
+            if tracing {
+                giant_skips.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             return;
         }
         adj.for_each_neighbor_from(u, config.neighbor_rounds, &mut |v| {
             dsu.link(u as u32, v as u32);
         });
     });
+    et_obs::counter_add("afforest.giant_skips", giant_skips.into_inner());
     dsu.compress();
     dsu.labels()
 }
@@ -86,11 +92,15 @@ pub(crate) fn sample_frequent_component(
         let x = rng.gen_range(0..n) as u32;
         *counts.entry(dsu.find(x)).or_default() += 1;
     }
-    counts
+    let (root, hits) = counts
         .into_iter()
         .max_by_key(|&(root, c)| (c, std::cmp::Reverse(root)))
-        .map(|(root, _)| root)
-        .unwrap_or(0)
+        .unwrap_or((0, 0));
+    // hits / sample_size estimates how much of phase 3 the giant-component
+    // skip will save.
+    et_obs::counter_add("afforest.sample_hits", hits as u64);
+    et_obs::counter_add("afforest.sample_size", sample_size.max(1) as u64);
+    root
 }
 
 #[cfg(test)]

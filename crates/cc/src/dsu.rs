@@ -55,7 +55,9 @@ impl DisjointSet {
 
     /// Root label per element (fully compressed).
     pub fn labels(&mut self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+        (0..self.parent.len() as u32)
+            .map(|x| self.find(x))
+            .collect()
     }
 }
 
@@ -69,6 +71,23 @@ pub fn atomic_find(parent: &[AtomicU32], mut x: u32) -> u32 {
             return x;
         }
         x = p;
+    }
+}
+
+/// [`atomic_find`] that also reports the chain length walked — `(root,
+/// steps)`, with `steps == 0` when `x` is its own root. The instrumented
+/// compression paths use this to expose `dsu.compress_steps` without taxing
+/// the plain find.
+#[inline]
+pub fn atomic_find_steps(parent: &[AtomicU32], mut x: u32) -> (u32, u64) {
+    let mut steps = 0u64;
+    loop {
+        let p = parent[x as usize].load(Ordering::Relaxed);
+        if p == x {
+            return (x, steps);
+        }
+        x = p;
+        steps += 1;
     }
 }
 
@@ -143,15 +162,32 @@ impl AtomicDsu {
     /// Flattens every element directly onto its root, in parallel
     /// (Afforest's `Compress`).
     pub fn compress(&self) {
-        self.parent.par_iter().enumerate().for_each(|(x, slot)| {
-            let root = self.find(x as u32);
-            slot.store(root, Ordering::Relaxed);
-        });
+        if et_obs::enabled() {
+            let steps: u64 = self
+                .parent
+                .par_iter()
+                .enumerate()
+                .map(|(x, slot)| {
+                    let (root, steps) = atomic_find_steps(&self.parent, x as u32);
+                    slot.store(root, Ordering::Relaxed);
+                    steps
+                })
+                .sum();
+            et_obs::counter_add("dsu.compress_steps", steps);
+            et_obs::counter_add("dsu.compress_calls", 1);
+        } else {
+            self.parent.par_iter().enumerate().for_each(|(x, slot)| {
+                let root = self.find(x as u32);
+                slot.store(root, Ordering::Relaxed);
+            });
+        }
     }
 
     /// Snapshot of the (not necessarily compressed) parent array.
     pub fn labels(&self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+        (0..self.parent.len() as u32)
+            .map(|x| self.find(x))
+            .collect()
     }
 }
 

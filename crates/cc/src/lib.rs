@@ -28,7 +28,7 @@ pub mod shiloach_vishkin;
 pub use adjacency::Adjacency;
 pub use afforest::{afforest, AfforestConfig};
 pub use bfs::bfs_cc;
-pub use dsu::{atomic_find, atomic_link, AtomicDsu, DisjointSet};
+pub use dsu::{atomic_find, atomic_find_steps, atomic_link, AtomicDsu, DisjointSet};
 pub use label_prop::label_propagation;
 pub use shiloach_vishkin::shiloach_vishkin;
 

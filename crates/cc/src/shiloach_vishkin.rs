@@ -12,7 +12,7 @@
 
 use crate::Adjacency;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Runs Shiloach–Vishkin over any [`Adjacency`]; returns root labels
 /// (fully shortcut, so `labels[u]` is the component representative).
@@ -20,8 +20,12 @@ pub fn shiloach_vishkin<A: Adjacency + ?Sized>(adj: &A) -> Vec<u32> {
     let n = adj.num_nodes();
     let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let hooking = AtomicBool::new(true);
+    let tracing = et_obs::enabled();
+    let mut rounds = 0u64;
+    let grafts = AtomicU64::new(0);
 
     while hooking.swap(false, Ordering::Relaxed) {
+        rounds += 1;
         // Hooking phase: for every arc (u, v), if Π(u) < Π(v) and Π(v) is a
         // root, hook it (mirrors Algorithm 2 ln. 15-20 of the paper).
         (0..n).into_par_iter().for_each(|u| {
@@ -31,6 +35,9 @@ pub fn shiloach_vishkin<A: Adjacency + ?Sized>(adj: &A) -> Vec<u32> {
                 if pu < pv && parent[pv as usize].load(Ordering::Relaxed) == pv {
                     parent[pv as usize].store(pu, Ordering::Relaxed);
                     hooking.store(true, Ordering::Relaxed);
+                    if tracing {
+                        grafts.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             });
         });
@@ -47,6 +54,8 @@ pub fn shiloach_vishkin<A: Adjacency + ?Sized>(adj: &A) -> Vec<u32> {
         });
     }
 
+    et_obs::counter_add("sv.hook_iterations", rounds);
+    et_obs::counter_add("sv.grafts", grafts.into_inner());
     parent.into_iter().map(|a| a.into_inner()).collect()
 }
 

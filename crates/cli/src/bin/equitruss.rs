@@ -10,7 +10,10 @@ fn usage() -> ! {
          equitruss generate <profile> [--scale F] -o <graph.{{txt|bin}}>\n  \
          equitruss stats <graph>\n  \
          equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
-         equitruss query <graph> <index.etidx> -v <vertex> -k <level>"
+         equitruss query <graph> <index.etidx> -v <vertex> -k <level>\n\n\
+         options (any command):\n  \
+         --trace-out <trace.json>   record spans + counters, write chrome://tracing JSON\n  \
+         ET_TRACE=1                 enable tracing without writing a file"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,12 @@ fn main() -> ExitCode {
     let get_flag = |name: &str| args.flags.get(name).cloned();
     let require_flag = |name: &str| get_flag(name).unwrap_or_else(|| usage());
 
+    et_obs::init_from_env();
+    let trace_out = get_flag("trace-out").map(PathBuf::from);
+    if trace_out.is_some() {
+        et_obs::set_enabled(true);
+    }
+
     let result = match args.positional[0].as_str() {
         "generate" => {
             let profile = args.positional.get(1).unwrap_or_else(|| usage()).clone();
@@ -70,7 +79,11 @@ fn main() -> ExitCode {
                 },
                 None => et_core::Variant::Afforest,
             };
-            cmd_build(&PathBuf::from(graph), &PathBuf::from(require_flag("o")), variant)
+            cmd_build(
+                &PathBuf::from(graph),
+                &PathBuf::from(require_flag("o")),
+                variant,
+            )
         }
         "query" => {
             let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
@@ -85,6 +98,15 @@ fn main() -> ExitCode {
     match result {
         Ok(out) => {
             println!("{out}");
+            if let Some(path) = trace_out {
+                match et_obs::write_chrome_trace(&path) {
+                    Ok(()) => eprintln!("trace written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error: cannot write trace: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

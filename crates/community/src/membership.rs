@@ -76,9 +76,7 @@ impl CommunityIndex {
         let Some(kmax) = self.max_level(q) else {
             return Vec::new();
         };
-        (3..=kmax)
-            .map(|k| (k, self.communities_of(q, k)))
-            .collect()
+        (3..=kmax).map(|k| (k, self.communities_of(q, k))).collect()
     }
 }
 

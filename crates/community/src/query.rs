@@ -55,6 +55,7 @@ pub fn query_communities(
     if k < 3 || (q as usize) >= graph.num_vertices() {
         return Vec::new();
     }
+    let _span = et_obs::span("Query").arg("k", u64::from(k));
     // Seed supernodes: containers of q's incident edges at trussness ≥ k.
     let mut seeds: Vec<u32> = graph
         .neighbors_with_eids(q)
@@ -66,6 +67,7 @@ pub fn query_communities(
 
     let mut visited = vec![false; index.num_supernodes()];
     let mut communities = Vec::new();
+    let mut superedges_scanned = 0u64;
     for &seed in &seeds {
         if visited[seed as usize] {
             continue;
@@ -76,6 +78,7 @@ pub fn query_communities(
         let mut supernodes = Vec::new();
         while let Some(sn) = queue.pop_front() {
             supernodes.push(sn);
+            superedges_scanned += index.neighbors(sn).len() as u64;
             for &nb in index.neighbors(sn) {
                 if !visited[nb as usize] && index.trussness(nb) >= k {
                     visited[nb as usize] = true;
@@ -95,6 +98,12 @@ pub fn query_communities(
             edges,
         });
     }
+    et_obs::counter_add("query.seeds", seeds.len() as u64);
+    et_obs::counter_add(
+        "query.supernodes_visited",
+        communities.iter().map(|c| c.supernodes.len() as u64).sum(),
+    );
+    et_obs::counter_add("query.superedges_scanned", superedges_scanned);
     communities.sort_by_key(|c| c.edges.first().copied().unwrap_or(EdgeId::MAX));
     communities
 }
@@ -159,11 +168,7 @@ pub fn strongest_communities(
 /// The largest k for which `q` participates in any k-truss community
 /// (i.e. the maximum trussness over q's incident edges), or `None` if q has
 /// no edge of trussness ≥ 3.
-pub fn max_query_level(
-    graph: &EdgeIndexedGraph,
-    index: &SuperGraph,
-    q: VertexId,
-) -> Option<u32> {
+pub fn max_query_level(graph: &EdgeIndexedGraph, index: &SuperGraph, q: VertexId) -> Option<u32> {
     if (q as usize) >= graph.num_vertices() {
         return None;
     }
@@ -264,7 +269,11 @@ mod tests {
         }
         let (eg, idx) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
         let cs = query_communities(&eg, &idx, 0, 4);
-        assert_eq!(cs.len(), 2, "vertex 0 must be in two overlapping communities");
+        assert_eq!(
+            cs.len(),
+            2,
+            "vertex 0 must be in two overlapping communities"
+        );
         for c in &cs {
             assert_eq!(c.edges.len(), 6);
             assert!(c.vertices(&eg).contains(&0));

@@ -15,13 +15,13 @@
 //! Afforest enumerates non-giant edges once and giant edges barely at all —
 //! the Fig. 5 speedup.
 
-use et_cc::{atomic_find, atomic_link};
+use et_cc::{atomic_find, atomic_find_steps, atomic_link};
 use et_graph::{EdgeId, EdgeIndexedGraph};
 use et_triangle::{for_each_triangle_of_edge, for_each_truss_triangle_of_edge};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Tuning knobs of the edge-entity Afforest.
 #[derive(Clone, Copy, Debug)]
@@ -83,8 +83,13 @@ pub fn spnode_group_afforest(
     // Phase 3: finish edges outside the giant component with their full
     // partner lists. (Triangles are enumerated unfiltered and the trussness
     // test applied inline, exactly like the hooking loops.)
+    let tracing = et_obs::enabled();
+    let giant_skips = AtomicU64::new(0);
     phi_k.par_iter().for_each(|&e| {
         if atomic_find(parent, e) == giant {
+            if tracing {
+                giant_skips.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
         for_each_triangle_of_edge(graph, e, |_, e1, e2| {
@@ -98,15 +103,29 @@ pub fn spnode_group_afforest(
             }
         });
     });
+    et_obs::counter_add("afforest.giant_skips", giant_skips.into_inner());
     compress_group(parent, phi_k);
 }
 
 /// Parallel path compression restricted to one Φ_k group.
 fn compress_group(parent: &[AtomicU32], phi_k: &[EdgeId]) {
-    phi_k.par_iter().for_each(|&e| {
-        let root = atomic_find(parent, e);
-        parent[e as usize].store(root, Ordering::Relaxed);
-    });
+    if et_obs::enabled() {
+        let steps: u64 = phi_k
+            .par_iter()
+            .map(|&e| {
+                let (root, steps) = atomic_find_steps(parent, e);
+                parent[e as usize].store(root, Ordering::Relaxed);
+                steps
+            })
+            .sum();
+        et_obs::counter_add("dsu.compress_steps", steps);
+        et_obs::counter_add("dsu.compress_calls", 1);
+    } else {
+        phi_k.par_iter().for_each(|&e| {
+            let root = atomic_find(parent, e);
+            parent[e as usize].store(root, Ordering::Relaxed);
+        });
+    }
 }
 
 /// Most frequent root among `sample_size` random members of Φ_k.
@@ -117,11 +136,15 @@ fn sample_giant(parent: &[AtomicU32], phi_k: &[EdgeId], sample_size: usize, seed
         let e = phi_k[rng.gen_range(0..phi_k.len())];
         *counts.entry(atomic_find(parent, e)).or_default() += 1;
     }
-    counts
+    let (root, hits) = counts
         .into_iter()
         .max_by_key(|&(root, c)| (c, std::cmp::Reverse(root)))
-        .map(|(root, _)| root)
-        .expect("sample is non-empty")
+        .expect("sample is non-empty");
+    // Sampling hit-rate: how concentrated the intermediate components are —
+    // high hits/size means phase 3 will skip almost everything.
+    et_obs::counter_add("afforest.sample_hits", hits as u64);
+    et_obs::counter_add("afforest.sample_size", sample_size.max(1) as u64);
+    root
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use et_graph::packed::pack_edge;
 use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
 use et_triangle::intersect::merge_intersect_into;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// The Baseline's "dictionary of edges": packed `(u, v)` keys in edge-id
 /// order (lexicographic, hence sorted), searched with binary search. The
@@ -68,7 +68,11 @@ pub fn spnode_group_baseline(
     parent: &[AtomicU32],
 ) {
     let hooking = AtomicBool::new(true);
+    let tracing = et_obs::enabled();
+    let mut rounds = 0u64;
+    let grafts = AtomicU64::new(0);
     while hooking.swap(false, Ordering::Relaxed) {
+        rounds += 1;
         // Hooking phase (Algorithm 2 ln. 10–20).
         phi_k.par_iter().for_each_init(Vec::new, |ws, &e| {
             let (u, v) = graph.endpoints(e);
@@ -95,6 +99,9 @@ pub fn spnode_group_baseline(
                     if pe < pi && parent[pi as usize].load(Ordering::Relaxed) == pi {
                         parent[pi as usize].store(pe, Ordering::Relaxed);
                         hooking.store(true, Ordering::Relaxed);
+                        if tracing {
+                            grafts.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -112,6 +119,8 @@ pub fn spnode_group_baseline(
             }
         });
     }
+    et_obs::counter_add("sv.hook_iterations", rounds);
+    et_obs::counter_add("sv.grafts", grafts.into_inner());
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 use et_graph::{EdgeId, EdgeIndexedGraph};
 use et_triangle::for_each_truss_triangle_of_edge;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Runs C-Optimal SV hooking/shortcut rounds for one Φ_k group.
 pub fn spnode_group_coptimal(
@@ -24,7 +24,11 @@ pub fn spnode_group_coptimal(
     parent: &[AtomicU32],
 ) {
     let hooking = AtomicBool::new(true);
+    let tracing = et_obs::enabled();
+    let mut rounds = 0u64;
+    let grafts = AtomicU64::new(0);
     while hooking.swap(false, Ordering::Relaxed) {
+        rounds += 1;
         // Hooking phase: triangle enumeration fused with the trussness
         // filter; edge ids come from the CSR arc-eid array for free.
         phi_k.par_iter().for_each(|&e| {
@@ -41,23 +45,42 @@ pub fn spnode_group_coptimal(
                     if pe < pi && parent[pi as usize].load(Ordering::Relaxed) == pi {
                         parent[pi as usize].store(pe, Ordering::Relaxed);
                         hooking.store(true, Ordering::Relaxed);
+                        if tracing {
+                            grafts.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             });
         });
 
         // Shortcut phase.
-        phi_k.par_iter().for_each(|&e| {
-            let i = e as usize;
-            let mut p = parent[i].load(Ordering::Relaxed);
-            let mut gp = parent[p as usize].load(Ordering::Relaxed);
-            while p != gp {
-                parent[i].store(gp, Ordering::Relaxed);
-                p = gp;
-                gp = parent[p as usize].load(Ordering::Relaxed);
-            }
-        });
+        if tracing {
+            let steps: u64 = phi_k.par_iter().map(|&e| shortcut(parent, e)).sum();
+            et_obs::counter_add("sv.shortcut_steps", steps);
+        } else {
+            phi_k.par_iter().for_each(|&e| {
+                shortcut(parent, e);
+            });
+        }
     }
+    et_obs::counter_add("sv.hook_iterations", rounds);
+    et_obs::counter_add("sv.grafts", grafts.into_inner());
+}
+
+/// Pointer-jumps edge `e` onto its root; returns the number of jumps.
+#[inline]
+fn shortcut(parent: &[AtomicU32], e: EdgeId) -> u64 {
+    let i = e as usize;
+    let mut steps = 0u64;
+    let mut p = parent[i].load(Ordering::Relaxed);
+    let mut gp = parent[p as usize].load(Ordering::Relaxed);
+    while p != gp {
+        parent[i].store(gp, Ordering::Relaxed);
+        p = gp;
+        gp = parent[p as usize].load(Ordering::Relaxed);
+        steps += 1;
+    }
+    steps
 }
 
 #[cfg(test)]

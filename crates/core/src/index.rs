@@ -152,12 +152,7 @@ impl SuperGraph {
     pub fn canonical(&self) -> CanonicalIndex {
         let num_sn = self.num_supernodes();
         let mut order: Vec<u32> = (0..num_sn as u32).collect();
-        order.sort_by_key(|&sn| {
-            self.members(sn)
-                .first()
-                .copied()
-                .unwrap_or(EdgeId::MAX)
-        });
+        order.sort_by_key(|&sn| self.members(sn).first().copied().unwrap_or(EdgeId::MAX));
         let mut rename = vec![0u32; num_sn];
         for (new, &old) in order.iter().enumerate() {
             rename[old as usize] = new as u32;
@@ -268,12 +263,7 @@ mod tests {
     fn canonical_is_renaming_invariant() {
         let a = toy_index();
         // Same index with supernode ids swapped.
-        let b = SuperGraph::assemble(
-            5,
-            vec![1, 1, 0, 0, NO_SUPERNODE],
-            vec![4, 3],
-            vec![(0, 1)],
-        );
+        let b = SuperGraph::assemble(5, vec![1, 1, 0, 0, NO_SUPERNODE], vec![4, 3], vec![(0, 1)]);
         assert_eq!(a.canonical(), b.canonical());
     }
 

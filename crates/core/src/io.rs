@@ -264,10 +264,7 @@ mod tests {
         built.sn_members[0] = 10_000; // out of range edge id
         let path = tmp("tamper.etidx");
         write_index(&built, &tau, &path).unwrap();
-        assert!(matches!(
-            read_index(&path),
-            Err(IndexIoError::Corrupt(_))
-        ));
+        assert!(matches!(read_index(&path), Err(IndexIoError::Corrupt(_))));
     }
 
     #[test]

@@ -33,14 +33,14 @@ pub mod phi;
 pub mod pipeline;
 pub mod remap;
 pub mod smgraph;
-pub mod stats;
 pub mod spedge;
+pub mod stats;
 pub mod timings;
 pub mod validate;
 
 pub use index::{SuperGraph, NO_SUPERNODE};
-pub use stats::IndexStats;
 pub use original::build_original;
 pub use phi::PhiGroups;
 pub use pipeline::{build_index, build_index_with_decomposition, IndexBuild, Variant};
+pub use stats::IndexStats;
 pub use timings::KernelTimings;

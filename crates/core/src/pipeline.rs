@@ -12,7 +12,7 @@ use crate::index::SuperGraph;
 use crate::phi::PhiGroups;
 use crate::smgraph::merge_supergraph;
 use crate::spedge::{spedge_group, RootPair};
-use crate::timings::{timed, KernelTimings};
+use crate::timings::{timed_span, timed_span_k, KernelTimings};
 use et_graph::EdgeIndexedGraph;
 use et_truss::TrussDecomposition;
 use std::sync::atomic::AtomicU32;
@@ -54,11 +54,12 @@ pub struct IndexBuild {
 /// Full pipeline: Support → parallel truss decomposition → index
 /// construction with the chosen variant.
 pub fn build_index(graph: &EdgeIndexedGraph, variant: Variant) -> IndexBuild {
+    let _build_span = et_obs::span(format!("BuildIndex({})", variant.name()));
     let mut timings = KernelTimings::default();
-    let support = timed(&mut timings.support, || {
+    let support = timed_span(&mut timings.support, "Support", || {
         et_triangle::compute_support(graph)
     });
-    let decomposition = timed(&mut timings.truss_decomp, || {
+    let decomposition = timed_span(&mut timings.truss_decomp, "TrussDecomp", || {
         et_truss::parallel::decompose_parallel_with_support(graph, support)
     });
     let index = build_index_with_decomposition(graph, &decomposition, variant, &mut timings);
@@ -78,7 +79,7 @@ pub fn build_index_with_decomposition(
 
     // Init kernel: Π ← identity (Algorithm 2 ln. 1–2), Φ_k grouping
     // (ln. 3–5), and the Baseline's dictionary when needed.
-    let (parent, phi, dict) = timed(&mut timings.init, || {
+    let (parent, phi, dict) = timed_span(&mut timings.init, "Init", || {
         let parent: Vec<AtomicU32> = (0..m as u32).map(AtomicU32::new).collect();
         let phi = PhiGroups::build(tau);
         let dict = match variant {
@@ -87,11 +88,17 @@ pub fn build_index_with_decomposition(
         };
         (parent, phi, dict)
     });
+    if et_obs::enabled() {
+        for (k, group) in phi.iter() {
+            et_obs::counter_add(&format!("phi.group_size.k{k}"), group.len() as u64);
+            et_obs::record_value("phi.group_size", group.len() as u64);
+        }
+    }
 
     // Per-k: SpNode then SpEdge on the same Φ_k.
     let mut subsets: Vec<Vec<RootPair>> = Vec::new();
     for (k, group) in phi.iter() {
-        timed(&mut timings.spnode, || match variant {
+        timed_span_k(&mut timings.spnode, "SpNode", k, || match variant {
             Variant::Baseline => {
                 let dict = dict.as_ref().expect("dictionary built for Baseline");
                 spnode_group_baseline(graph, dict, tau, k, group, &parent);
@@ -106,18 +113,18 @@ pub fn build_index_with_decomposition(
                 AfforestSpNodeConfig::default(),
             ),
         });
-        timed(&mut timings.spedge, || {
+        timed_span_k(&mut timings.spedge, "SpEdge", k, || {
             spedge_group(graph, tau, k, group, &parent, &mut subsets);
         });
     }
 
     // SmGraph merge (Algorithm 4).
-    let merged = timed(&mut timings.smgraph, || {
+    let merged = timed_span(&mut timings.smgraph, "SmGraph", || {
         merge_supergraph(&subsets, rayon::current_num_threads())
     });
 
     // Dense renumbering + assembly.
-    timed(&mut timings.spnode_remap, || {
+    timed_span(&mut timings.spnode_remap, "SpNodeRemap", || {
         crate::remap::remap_and_assemble(m, &parent, &merged, &phi)
     })
 }

@@ -34,6 +34,10 @@ pub fn merge_supergraph(subsets: &[Vec<RootPair>], num_partitions: usize) -> Vec
     if subsets.is_empty() {
         return Vec::new();
     }
+    if et_obs::enabled() {
+        let pairs_in: u64 = subsets.iter().map(|s| s.len() as u64).sum();
+        et_obs::counter_add("smgraph.pairs_in", pairs_in);
+    }
 
     // Step 1: per-subset hash partitioning (each "thread" scatters its own
     // superedges; sm_graph_t in the paper).
@@ -86,6 +90,8 @@ pub fn merge_supergraph(subsets: &[Vec<RootPair>], num_partitions: usize) -> Vec
                 window.copy_from_slice(part);
             });
     }
+    // pairs_in / pairs_out is the cross-subset duplication factor.
+    et_obs::counter_add("smgraph.pairs_out", final_graph.len() as u64);
     final_graph
 }
 

@@ -54,6 +54,16 @@ pub fn spedge_group(
             acc
         })
         .collect();
+    if et_obs::enabled() {
+        // Per-job buffer sizes reveal load skew across the thread-local
+        // subsets (the sp_edges[tid] of the paper).
+        let mut total = 0u64;
+        for s in new_subsets.iter().filter(|s| !s.is_empty()) {
+            et_obs::record_value("spedge.buffer_len", s.len() as u64);
+            total += s.len() as u64;
+        }
+        et_obs::counter_add("spedge.candidates", total);
+    }
     subsets.extend(new_subsets.into_iter().filter(|s| !s.is_empty()));
 }
 

@@ -85,6 +85,30 @@ impl KernelTimings {
     }
 }
 
+/// Serializes as a flat map of float seconds per kernel (plus `total` and
+/// `index_construction` rollups) — the machine-readable form embedded in
+/// experiment reports.
+#[cfg(feature = "serde")]
+impl serde::Serialize for KernelTimings {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(9))?;
+        map.serialize_entry("support", &self.support.as_secs_f64())?;
+        map.serialize_entry("truss_decomp", &self.truss_decomp.as_secs_f64())?;
+        map.serialize_entry("init", &self.init.as_secs_f64())?;
+        map.serialize_entry("spnode", &self.spnode.as_secs_f64())?;
+        map.serialize_entry("spedge", &self.spedge.as_secs_f64())?;
+        map.serialize_entry("smgraph", &self.smgraph.as_secs_f64())?;
+        map.serialize_entry("spnode_remap", &self.spnode_remap.as_secs_f64())?;
+        map.serialize_entry(
+            "index_construction",
+            &self.index_construction().as_secs_f64(),
+        )?;
+        map.serialize_entry("total", &self.total().as_secs_f64())?;
+        map.end()
+    }
+}
+
 /// Times a closure, adding the elapsed duration to `slot`.
 pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();
@@ -93,15 +117,36 @@ pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// [`timed`] that also opens an [`et_obs`] span named `name` for the
+/// duration of the closure (a no-op unless tracing is enabled).
+pub fn timed_span<T>(slot: &mut Duration, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = et_obs::span(name);
+    timed(slot, f)
+}
+
+/// [`timed_span`] with the trussness level `k` attached as a span argument
+/// — used by the per-Φ_k kernels so traces show one box per (kernel, k).
+pub fn timed_span_k<T>(
+    slot: &mut Duration,
+    name: &'static str,
+    k: u32,
+    f: impl FnOnce() -> T,
+) -> T {
+    let _span = et_obs::span(name).arg("k", u64::from(k));
+    timed(slot, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn totals_and_percentages() {
-        let mut t = KernelTimings::default();
-        t.support = Duration::from_millis(10);
-        t.spnode = Duration::from_millis(30);
+        let t = KernelTimings {
+            support: Duration::from_millis(10),
+            spnode: Duration::from_millis(30),
+            ..Default::default()
+        };
         assert_eq!(t.total(), Duration::from_millis(40));
         assert_eq!(t.index_construction(), Duration::from_millis(30));
         let pct = t.percentages();
@@ -128,12 +173,52 @@ mod tests {
     }
 
     #[test]
+    fn total_is_sum_of_every_field() {
+        let ms = Duration::from_millis;
+        let t = KernelTimings {
+            support: ms(1),
+            truss_decomp: ms(2),
+            init: ms(4),
+            spnode: ms(8),
+            spedge: ms(16),
+            smgraph: ms(32),
+            spnode_remap: ms(64),
+        };
+        let field_sum: Duration = t.rows().iter().map(|&(_, d)| d).sum();
+        assert_eq!(t.total(), field_sum);
+        assert_eq!(t.total(), ms(127));
+        assert_eq!(t.index_construction(), t.spnode + t.spedge + t.smgraph);
+        assert_eq!(t.index_construction(), ms(56));
+    }
+
+    #[test]
+    fn timed_span_records_like_timed() {
+        et_obs::set_enabled(true);
+        et_obs::reset();
+        let mut slot = Duration::ZERO;
+        let v = timed_span(&mut slot, "test.timings_span", || 7);
+        assert_eq!(v, 7);
+        let k = timed_span_k(&mut slot, "test.timings_span_k", 4, || 8);
+        assert_eq!(k, 8);
+        et_obs::set_enabled(false);
+        let events = et_obs::take_events();
+        assert!(events.iter().any(|e| e.name == "test.timings_span"));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "test.timings_span_k" && e.args.contains(&("k".to_string(), 4))));
+    }
+
+    #[test]
     fn accumulate_sums() {
-        let mut a = KernelTimings::default();
-        a.spedge = Duration::from_millis(5);
-        let mut b = KernelTimings::default();
-        b.spedge = Duration::from_millis(7);
-        b.init = Duration::from_millis(1);
+        let mut a = KernelTimings {
+            spedge: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = KernelTimings {
+            spedge: Duration::from_millis(7),
+            init: Duration::from_millis(1),
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.spedge, Duration::from_millis(12));
         assert_eq!(a.init, Duration::from_millis(1));

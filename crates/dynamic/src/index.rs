@@ -44,12 +44,7 @@ impl DynamicIndex {
         };
         idx.trussness = idx.recompute_trussness();
         idx.grow_parent();
-        let levels: BTreeSet<u32> = idx
-            .trussness
-            .iter()
-            .copied()
-            .filter(|&t| t >= 3)
-            .collect();
+        let levels: BTreeSet<u32> = idx.trussness.iter().copied().filter(|&t| t >= 3).collect();
         idx.rebuild(&levels);
         idx
     }
@@ -150,12 +145,8 @@ impl DynamicIndex {
             .filter(|&e| old_tau.get(e).copied().unwrap_or(0) != self.trussness[e])
             .count();
         self.rebuild(&affected);
-        let all_levels: BTreeSet<u32> = self
-            .trussness
-            .iter()
-            .copied()
-            .filter(|&t| t >= 3)
-            .collect();
+        let all_levels: BTreeSet<u32> =
+            self.trussness.iter().copied().filter(|&t| t >= 3).collect();
         UpdateStats {
             rebuilt_levels: affected.iter().copied().filter(|k| *k >= 3).collect(),
             reused_levels: all_levels.difference(&affected).copied().collect(),
@@ -260,12 +251,17 @@ mod tests {
     use super::*;
     use et_graph::EdgeIndexedGraph;
 
+    /// Supernodes as (trussness, sorted member endpoint pairs).
+    type CanonicalSupernodes = Vec<(u32, Vec<(u32, u32)>)>;
+    /// Superedges as sorted endpoint-pair representatives.
+    type CanonicalSuperedges = Vec<Vec<(u32, u32)>>;
+
     /// Canonical form keyed by endpoint pairs, so indexes over different
     /// edge-id spaces compare.
     fn canonical_by_endpoints(
         index: &SuperGraph,
         endpoints: impl Fn(EdgeId) -> (u32, u32),
-    ) -> (Vec<(u32, Vec<(u32, u32)>)>, Vec<Vec<(u32, u32)>>) {
+    ) -> (CanonicalSupernodes, CanonicalSuperedges) {
         let mut sns: Vec<(u32, Vec<(u32, u32)>)> = (0..index.num_supernodes() as u32)
             .map(|sn| {
                 let mut members: Vec<(u32, u32)> =

@@ -190,11 +190,9 @@ mod tests {
 
     fn sample() -> EdgeIndexedGraph {
         // Two triangles sharing vertex 2, plus a pendant.
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)],
-        )
-        .build();
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)])
+                .build();
         EdgeIndexedGraph::new(g)
     }
 
@@ -212,16 +210,8 @@ mod tests {
     fn both_arcs_share_id() {
         let eg = sample();
         for (e, u, v) in eg.edges() {
-            let fwd = eg
-                .neighbors_with_eids(u)
-                .find(|&(w, _)| w == v)
-                .unwrap()
-                .1;
-            let bwd = eg
-                .neighbors_with_eids(v)
-                .find(|&(w, _)| w == u)
-                .unwrap()
-                .1;
+            let fwd = eg.neighbors_with_eids(u).find(|&(w, _)| w == v).unwrap().1;
+            let bwd = eg.neighbors_with_eids(v).find(|&(w, _)| w == u).unwrap().1;
             assert_eq!(fwd, e);
             assert_eq!(bwd, e);
         }

@@ -37,7 +37,11 @@ impl GraphStats {
             num_vertices: n,
             num_edges: m,
             max_degree,
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             isolated_vertices: isolated,
         }
     }

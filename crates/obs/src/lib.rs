@@ -1,0 +1,268 @@
+//! # et-obs — observability for the EquiTruss pipeline
+//!
+//! A lightweight, rayon-friendly tracing and metrics layer with three parts:
+//!
+//! * **Spans** ([`span`]) — nested wall-clock intervals tagged with the
+//!   calling thread, exportable as `chrome://tracing` / Perfetto JSON
+//!   ([`write_chrome_trace`]). One span per kernel invocation (Support,
+//!   Init, SpNode k=…, SpEdge k=…, SmGraph, …) reproduces the paper's
+//!   Fig. 4/8 breakdown as an interactive timeline.
+//! * **Counters and distributions** ([`counter_add`], [`record_value`]) —
+//!   named, process-global metrics (e.g. `sv.hook_iterations`,
+//!   `afforest.sample_hits`, `spedge.buffer_len`) collected into a
+//!   [`MetricsSnapshot`] that explains *why* a kernel is slow.
+//! * **A runtime switch** ([`enabled`]) — initialized from the `ET_TRACE`
+//!   environment variable (or [`set_enabled`]); every recording entry point
+//!   first branches on one relaxed atomic load, so the disabled path costs
+//!   nothing measurable.
+//!
+//! ## Counter naming scheme
+//!
+//! Dotted lowercase `subsystem.metric` names; per-trussness-level variants
+//! append `.k{k}` (e.g. `phi.group_size.k4`). Counters are monotonically
+//! increasing `u64` sums; distributions summarize individual samples into
+//! count/min/max/sum/mean/p50/p90.
+//!
+//! ## Threading model
+//!
+//! All state is process-global and lock-free on the hot paths: counters are
+//! relaxed `AtomicU64`s, spans buffer into a mutex only on `Drop`. Rayon
+//! worker threads may record freely. Hot loops should either hoist a
+//! [`CounterHandle`] out of the loop or accumulate locally and flush one
+//! `counter_add` per parallel job.
+//!
+//! This crate has no required dependencies; the optional `serde` feature
+//! derives `Serialize` for [`MetricsSnapshot`] so snapshots can be embedded
+//! in other JSON documents (the chrome-trace export has its own writer).
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod span;
+mod trace;
+
+pub use metrics::{
+    counter, counter_add, record_value, reset_metrics, snapshot, CounterHandle,
+    DistributionSummary, MetricsSnapshot,
+};
+pub use span::{reset_spans, span, take_events, SpanGuard, TraceEvent};
+pub use trace::{capture_trace, write_chrome_trace, ChromeTrace};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Name of the environment variable that switches tracing on.
+pub const ENV_VAR: &str = "ET_TRACE";
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Whether recording is on. The first call (unless [`set_enabled`] ran
+/// earlier) reads the `ET_TRACE` environment variable; afterwards this is a
+/// single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Initializes the switch from `ET_TRACE` (unset, empty, `0`, `false`,
+/// `off`, or `no` mean disabled) unless [`set_enabled`] already decided.
+/// Returns the resulting state.
+pub fn init_from_env() -> bool {
+    let on = std::env::var(ENV_VAR)
+        .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "off" | "no"))
+        .unwrap_or(false);
+    let _ = STATE.compare_exchange(
+        UNINIT,
+        if on { ON } else { OFF },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == ON
+}
+
+/// Forces recording on or off, overriding `ET_TRACE`.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+/// Clears all recorded metrics and buffered span events (the enabled switch
+/// is left untouched). Previously hoisted [`CounterHandle`]s are detached by
+/// this and must be re-acquired.
+pub fn reset() {
+    reset_metrics();
+    reset_spans();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that toggle the process-global switch.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn switch_toggles() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        counter_add("test.off", 5);
+        record_value("test.off_dist", 1);
+        {
+            let _span = span("test.off_span");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.off"), 0);
+        assert!(snap.distribution("test.off_dist").is_none());
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let c = counter("test.threads");
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                    counter_add("test.threads", 10);
+                });
+            }
+        });
+        set_enabled(false);
+        assert_eq!(snapshot().counter("test.threads"), 8 * 1010);
+    }
+
+    #[test]
+    fn distributions_summarize() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        for v in [4u64, 1, 3, 2, 5] {
+            record_value("test.dist", v);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let d = snap.distribution("test.dist").unwrap();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 5);
+        assert_eq!(d.sum, 15);
+        assert!((d.mean - 3.0).abs() < 1e-9);
+        assert_eq!(d.p50, 3);
+        assert_eq!(d.p90, 5);
+    }
+
+    #[test]
+    fn spans_nest_and_export() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("test.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test.inner").arg("k", 4);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        // Drop order: inner closes first.
+        assert_eq!(events[0].name, "test.inner");
+        assert_eq!(events[0].args, vec![("k".to_string(), 4)]);
+        assert_eq!(events[1].name, "test.outer");
+        let (inner, outer) = (&events[0], &events[1]);
+        assert!(outer.ts <= inner.ts, "outer starts first");
+        assert!(
+            inner.ts + inner.dur <= outer.ts + outer.dur,
+            "inner contained in outer"
+        );
+        assert_eq!(inner.tid, outer.tid);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("test.\"quoted\"\\name").arg("k", 3);
+        }
+        counter_add("test.counter", 7);
+        record_value("test.dist", 42);
+        set_enabled(false);
+        let json = capture_trace().to_json();
+        // Minimal structural validation without a JSON parser: balanced
+        // braces/brackets outside strings, expected keys present.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in json.chars() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escape = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced JSON");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\\\"quoted\\\"\\\\name"));
+        assert!(json.contains("\"test.counter\": 7"));
+        assert!(json.contains("\"p50\""));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter_add("test.reset", 1);
+        let _ = span("test.reset_span");
+        reset();
+        set_enabled(false);
+        assert!(snapshot().is_empty());
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        let _guard = LOCK.lock().unwrap();
+        // init_from_env only applies from the UNINIT state, which tests
+        // cannot reliably reach; exercise the explicit override instead.
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

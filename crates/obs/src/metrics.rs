@@ -1,0 +1,264 @@
+//! Named counters and value distributions with snapshot extraction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    distributions: RwLock<BTreeMap<String, Arc<Mutex<Vec<u64>>>>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// A hoisted reference to one named counter — fetch once outside a hot loop,
+/// then [`CounterHandle::add`] without any registry lookup.
+#[derive(Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds `delta` (relaxed).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Returns (registering on first use) the counter called `name`. Unlike
+/// [`counter_add`] this does *not* consult the enabled switch — callers
+/// hoisting a handle gate recording themselves via [`crate::enabled`].
+pub fn counter(name: &str) -> CounterHandle {
+    let reg = registry();
+    if let Some(c) = reg.counters.read().unwrap().get(name) {
+        return CounterHandle(c.clone());
+    }
+    let mut w = reg.counters.write().unwrap();
+    CounterHandle(w.entry(name.to_string()).or_default().clone())
+}
+
+/// Adds `delta` to the counter called `name`; no-op while recording is
+/// disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    counter(name).add(delta);
+}
+
+/// Records one sample into the distribution called `name`; no-op while
+/// recording is disabled. Samples are kept raw until [`snapshot`] summarizes
+/// them — intended for per-kernel-scale sampling (buffer lengths, frontier
+/// sizes), not per-edge events.
+pub fn record_value(name: &str, value: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let reg = registry();
+    let dist = {
+        let r = reg.distributions.read().unwrap();
+        r.get(name).cloned()
+    };
+    let dist = match dist {
+        Some(d) => d,
+        None => {
+            let mut w = reg.distributions.write().unwrap();
+            w.entry(name.to_string()).or_default().clone()
+        }
+    };
+    dist.lock().unwrap().push(value);
+}
+
+/// Summary statistics of one recorded distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct DistributionSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Sum over all samples.
+    pub sum: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90: u64,
+}
+
+impl DistributionSummary {
+    fn from_samples(samples: &[u64]) -> Option<DistributionSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        let sum: u64 = sorted.iter().sum();
+        let pct = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        Some(DistributionSummary {
+            count,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            sum,
+            mean: sum as f64 / count as f64,
+            p50: pct(0.5),
+            p90: pct(0.9),
+        })
+    }
+}
+
+/// A point-in-time copy of every registered counter and distribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Distribution summaries by name.
+    pub distributions: BTreeMap<String, DistributionSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summary of a distribution, if it recorded any sample.
+    pub fn distribution(&self, name: &str) -> Option<&DistributionSummary> {
+        self.distributions.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.distributions.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters are summed; distribution
+    /// summaries are combined exactly for count/min/max/sum/mean and
+    /// *approximately* for the percentiles (sample-weighted average), which
+    /// is adequate for cross-run rollups.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, d) in &other.distributions {
+            match self.distributions.get_mut(name) {
+                None => {
+                    self.distributions.insert(name.clone(), *d);
+                }
+                Some(mine) => {
+                    let total = mine.count + d.count;
+                    let weighted = |a: u64, b: u64| {
+                        ((a as f64 * mine.count as f64 + b as f64 * d.count as f64) / total as f64)
+                            .round() as u64
+                    };
+                    mine.p50 = weighted(mine.p50, d.p50);
+                    mine.p90 = weighted(mine.p90, d.p90);
+                    mine.min = mine.min.min(d.min);
+                    mine.max = mine.max.max(d.max);
+                    mine.sum += d.sum;
+                    mine.count = total;
+                    mine.mean = mine.sum as f64 / total as f64;
+                }
+            }
+        }
+    }
+
+    /// Serializes the snapshot as a JSON object (dependency-free writer).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String) {
+        out.push_str("{\"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            crate::trace::push_json_string(out, name);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str("}, \"distributions\": {");
+        for (i, (name, d)) in self.distributions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            crate::trace::push_json_string(out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"min\": {}, \"max\": {}, \"sum\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}}}",
+                d.count,
+                d.min,
+                d.max,
+                d.sum,
+                json_f64(d.mean),
+                d.p50,
+                d.p90
+            ));
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Formats an `f64` as a JSON-legal number (no NaN/inf, always finite text).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Snapshots every registered counter and distribution.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let distributions = reg
+        .distributions
+        .read()
+        .unwrap()
+        .iter()
+        .filter_map(|(k, v)| {
+            DistributionSummary::from_samples(&v.lock().unwrap()).map(|d| (k.clone(), d))
+        })
+        .collect();
+    MetricsSnapshot {
+        counters,
+        distributions,
+    }
+}
+
+/// Unregisters every counter and distribution (hoisted [`CounterHandle`]s
+/// become detached).
+pub fn reset_metrics() {
+    let reg = registry();
+    reg.counters.write().unwrap().clear();
+    reg.distributions.write().unwrap().clear();
+}

@@ -1,0 +1,98 @@
+//! Wall-clock spans with thread attribution, buffered as trace events.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, in chrome-trace "complete event" (`ph = "X"`) terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (kernel or phase).
+    pub name: String,
+    /// Microseconds since the process-wide trace epoch.
+    pub ts: u64,
+    /// Duration in microseconds.
+    pub dur: u64,
+    /// Small dense id of the recording thread.
+    pub tid: u32,
+    /// Numeric annotations (e.g. `("k", 4)`).
+    pub args: Vec<(String, u64)>,
+}
+
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+/// An open span; records a [`TraceEvent`] when dropped. A no-op (nothing
+/// allocated, nothing recorded) while recording is disabled.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    args: Vec<(String, u64)>,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric annotation shown under the span in trace viewers.
+    pub fn arg(mut self, key: impl Into<String>, value: u64) -> Self {
+        if let Some(s) = &mut self.0 {
+            s.args.push((key.into(), value));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            let end = now_us();
+            let event = TraceEvent {
+                name: s.name.into_owned(),
+                ts: s.start_us,
+                dur: end.saturating_sub(s.start_us),
+                tid: current_tid(),
+                args: s.args,
+            };
+            EVENTS.lock().unwrap().push(event);
+        }
+    }
+}
+
+/// Opens a span covering the scope the returned guard lives in. Nesting is
+/// implicit: spans opened while another is live on the same thread render
+/// nested in `chrome://tracing`.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(ActiveSpan {
+        name: name.into(),
+        args: Vec::new(),
+        start_us: now_us(),
+    }))
+}
+
+/// Drains every buffered span event (oldest first).
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *EVENTS.lock().unwrap())
+}
+
+/// Discards all buffered span events.
+pub fn reset_spans() {
+    EVENTS.lock().unwrap().clear();
+}

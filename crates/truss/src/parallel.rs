@@ -18,8 +18,16 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Parallel level-synchronous truss decomposition.
+///
+/// When tracing is enabled, the two kernels show up as `Support` and
+/// `TrussDecomp` spans — this entry point is what the CLI build path calls,
+/// so it carries the same span names the pipeline's timed slots use.
 pub fn decompose_parallel(graph: &EdgeIndexedGraph) -> TrussDecomposition {
-    let support = compute_support(graph);
+    let support = {
+        let _span = et_obs::span("Support");
+        compute_support(graph)
+    };
+    let _span = et_obs::span("TrussDecomp");
     decompose_parallel_with_support(graph, support)
 }
 
@@ -39,6 +47,9 @@ pub fn decompose_parallel_with_support(
     let in_cur: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
     let trussness: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
 
+    let tracing = et_obs::enabled();
+    let mut levels_with_work = 0u64;
+    let mut peel_rounds = 0u64;
     let mut remaining = m;
     let mut level: u32 = 0;
     while remaining > 0 && level <= max_sup {
@@ -51,7 +62,14 @@ pub fn decompose_parallel_with_support(
             })
             .collect();
 
+        if tracing && !frontier.is_empty() {
+            levels_with_work += 1;
+        }
         while !frontier.is_empty() {
+            peel_rounds += 1;
+            if tracing {
+                et_obs::record_value("truss.frontier_len", frontier.len() as u64);
+            }
             for &e in &frontier {
                 in_cur[e as usize].store(true, Ordering::Relaxed);
             }
@@ -108,6 +126,8 @@ pub fn decompose_parallel_with_support(
         level += 1;
     }
 
+    et_obs::counter_add("truss.levels", levels_with_work);
+    et_obs::counter_add("truss.peel_rounds", peel_rounds);
     TrussDecomposition::new(
         trussness
             .into_iter()
@@ -159,11 +179,7 @@ mod tests {
     fn matches_serial_on_random_graphs() {
         for seed in 0..8 {
             let g = EdgeIndexedGraph::new(et_gen::gnm(100, 700, seed));
-            assert_eq!(
-                decompose_serial(&g),
-                decompose_parallel(&g),
-                "seed {seed}"
-            );
+            assert_eq!(decompose_serial(&g), decompose_parallel(&g), "seed {seed}");
         }
     }
 

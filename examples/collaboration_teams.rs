@@ -22,10 +22,7 @@ fn main() {
     );
 
     let decomposition = decompose_parallel(&graph);
-    println!(
-        "trussness spectrum: {:?}",
-        decomposition.class_histogram()
-    );
+    println!("trussness spectrum: {:?}", decomposition.class_histogram());
 
     // Build both indexes and compare construction costs.
     let t0 = Instant::now();
@@ -34,9 +31,7 @@ fn main() {
     let t1 = Instant::now();
     let tcp = TcpIndex::build(&graph, &decomposition.trussness);
     let t_tcp = t1.elapsed();
-    println!(
-        "\nEquiTruss (Afforest) built in {t_equi:.2?}; TCP-Index in {t_tcp:.2?}"
-    );
+    println!("\nEquiTruss (Afforest) built in {t_equi:.2?}; TCP-Index in {t_tcp:.2?}");
     println!(
         "TCP stores {} forest edges for {} graph edges (redundancy the paper's §5 criticizes)",
         tcp.forest_edge_count(),

@@ -10,10 +10,33 @@ fn main() {
     // The paper's own running example (Figure 3): 11 vertices, 27 edges,
     // trussness classes 3, 4 and 5.
     let edges = [
-        (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (2, 3), (2, 6), (2, 8),
-        (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6), (5, 7), (5, 10),
-        (6, 7), (6, 8), (6, 9), (6, 10), (7, 8), (7, 9), (7, 10), (8, 9),
-        (8, 10), (9, 10),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 2),
+        (1, 3),
+        (2, 3),
+        (2, 6),
+        (2, 8),
+        (3, 4),
+        (3, 5),
+        (3, 6),
+        (4, 5),
+        (4, 6),
+        (5, 6),
+        (5, 7),
+        (5, 10),
+        (6, 7),
+        (6, 8),
+        (6, 9),
+        (6, 10),
+        (7, 8),
+        (7, 9),
+        (7, 10),
+        (8, 9),
+        (8, 10),
+        (9, 10),
     ];
     let graph = EdgeIndexedGraph::new(GraphBuilder::from_edges(11, &edges).build());
     println!(
@@ -34,7 +57,10 @@ fn main() {
     let q = 5;
     for k in 3..=index.max_level(q).unwrap_or(2) {
         let communities = index.communities_of(q, k);
-        println!("\nvertex {q}, k = {k}: {} community(ies)", communities.len());
+        println!(
+            "\nvertex {q}, k = {k}: {} community(ies)",
+            communities.len()
+        );
         for (i, c) in communities.iter().enumerate() {
             let vs = c.vertices(index.graph());
             println!(

@@ -9,9 +9,10 @@
 
 pub use et_cc as cc;
 pub use et_community as community;
-pub use et_dynamic as dynamic;
 pub use et_core as equitruss;
+pub use et_dynamic as dynamic;
 pub use et_gen as gen;
 pub use et_graph as graph;
+pub use et_obs as obs;
 pub use et_triangle as triangle;
 pub use et_truss as truss;

@@ -157,13 +157,11 @@ fn index_file_bitflip_detected_or_harmless() {
 #[test]
 fn community_index_facade_on_awkward_graphs() {
     // Facade over an empty graph and a triangle-free graph.
-    let empty = CommunityIndex::build(
-        EdgeIndexedGraph::new(CsrGraph::empty(4)),
-        Variant::Afforest,
-    );
+    let empty = CommunityIndex::build(EdgeIndexedGraph::new(CsrGraph::empty(4)), Variant::Afforest);
     assert!(empty.membership_profile(0).is_empty());
 
-    let path = EdgeIndexedGraph::new(GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build());
+    let path =
+        EdgeIndexedGraph::new(GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build());
     let pathidx = CommunityIndex::build(path, Variant::Baseline);
     assert_eq!(pathidx.max_level(1), None);
 }

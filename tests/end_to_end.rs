@@ -68,7 +68,10 @@ fn queries_agree_across_engines_on_profiles() {
 fn index_is_identical_across_thread_counts() {
     let graph = load("orkut");
     let canon_1 = {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         pool.install(|| build_index(&graph, Variant::Afforest).index.canonical())
     };
     for threads in [2, 4] {
@@ -88,7 +91,8 @@ fn graph_io_roundtrip_preserves_index() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("dblp.bin");
     parallel_equitruss::graph::io::write_binary(graph.graph(), &path).unwrap();
-    let reloaded = EdgeIndexedGraph::new(parallel_equitruss::graph::io::read_binary(&path).unwrap());
+    let reloaded =
+        EdgeIndexedGraph::new(parallel_equitruss::graph::io::read_binary(&path).unwrap());
 
     let a = build_index(&graph, Variant::COptimal).index;
     let b = build_index(&reloaded, Variant::COptimal).index;

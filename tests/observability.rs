@@ -1,0 +1,139 @@
+//! End-to-end observability tests: tracing must not change results, and the
+//! chrome-trace export must carry one span per kernel plus the algorithm
+//! counters each variant promises.
+
+use parallel_equitruss::equitruss::{build_index, Variant};
+use parallel_equitruss::graph::EdgeIndexedGraph;
+use parallel_equitruss::obs;
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the process-global tracing switch.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn test_graph() -> EdgeIndexedGraph {
+    EdgeIndexedGraph::new(parallel_equitruss::gen::overlapping_cliques(
+        200,
+        40,
+        (3, 7),
+        80,
+        7,
+    ))
+}
+
+#[test]
+fn tracing_does_not_change_the_index() {
+    let _guard = LOCK.lock().unwrap();
+    let eg = test_graph();
+    for variant in Variant::ALL {
+        obs::set_enabled(false);
+        obs::reset();
+        let plain = build_index(&eg, variant).index.canonical();
+        obs::set_enabled(true);
+        obs::reset();
+        let traced = build_index(&eg, variant).index.canonical();
+        obs::set_enabled(false);
+        obs::reset();
+        assert_eq!(
+            plain,
+            traced,
+            "{}: tracing changed the supergraph",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_has_kernel_spans_and_counters() {
+    let _guard = LOCK.lock().unwrap();
+    let eg = test_graph();
+    obs::set_enabled(true);
+    obs::reset();
+    for variant in Variant::ALL {
+        build_index(&eg, variant);
+    }
+    obs::set_enabled(false);
+    let trace = obs::capture_trace();
+    obs::reset();
+
+    let json: serde_json::Value = serde_json::from_str(&trace.to_json()).expect("valid JSON");
+    let events = json["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert_eq!(e["ph"], "X");
+        assert_eq!(e["cat"], "equitruss");
+        assert!(e["ts"].is_u64() && e["dur"].is_u64());
+        assert!(e["pid"].is_u64() && e["tid"].is_u64());
+    }
+    let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+    for kernel in ["Support", "TrussDecomp", "Init", "SmGraph", "SpNodeRemap"] {
+        // One span per kernel per variant run.
+        assert_eq!(
+            names.iter().filter(|n| **n == kernel).count(),
+            Variant::ALL.len(),
+            "missing {kernel} spans in {names:?}"
+        );
+    }
+    // Per-k kernels carry a k argument.
+    let spnode = events
+        .iter()
+        .find(|e| e["name"] == "SpNode")
+        .expect("SpNode span");
+    assert!(spnode["args"]["k"].as_u64().unwrap() >= 3);
+    assert!(names.contains(&"SpEdge"));
+    assert!(names.iter().any(|n| n.starts_with("BuildIndex(")));
+
+    // Counters from every variant's inner algorithms.
+    let m = &trace.metrics;
+    for c in [
+        "sv.hook_iterations",   // Baseline + C-Optimal SV rounds
+        "sv.grafts",            // successful hooks
+        "sv.shortcut_steps",    // C-Optimal pointer jumping
+        "afforest.sample_hits", // Afforest giant-component sampling
+        "afforest.sample_size",
+        "dsu.compress_steps", // Afforest path compression
+        "spedge.candidates",
+        "smgraph.pairs_in",
+        "smgraph.pairs_out",
+    ] {
+        assert!(m.counter(c) > 0, "counter {c} is zero: {:?}", m.counters);
+    }
+    assert!(m.distribution("phi.group_size").is_some());
+    assert!(m.distribution("spedge.buffer_len").is_some());
+    // The same counters surface in the exported JSON.
+    assert!(
+        json["metrics"]["counters"]["sv.hook_iterations"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn counters_aggregate_under_rayon() {
+    let _guard = LOCK.lock().unwrap();
+    obs::set_enabled(true);
+    obs::reset();
+    (0..1000u32).into_par_iter().for_each(|i| {
+        obs::counter_add("test.rayon", 1);
+        if i % 2 == 0 {
+            obs::counter_add("test.rayon_even", 1);
+        }
+    });
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    assert_eq!(snap.counter("test.rayon"), 1000);
+    assert_eq!(snap.counter("test.rayon_even"), 500);
+}
+
+#[test]
+fn disabled_tracing_records_nothing_end_to_end() {
+    let _guard = LOCK.lock().unwrap();
+    obs::set_enabled(false);
+    obs::reset();
+    let eg = test_graph();
+    build_index(&eg, Variant::Afforest);
+    assert!(obs::snapshot().is_empty());
+    assert!(obs::take_events().is_empty());
+}
