@@ -1,8 +1,10 @@
 //! Support-kernel benchmarks + intersection-kernel ablation (DESIGN.md
-//! ablation #4: merge vs binary vs galloping vs adaptive).
+//! ablation #4: merge vs binary vs galloping vs adaptive), plus the
+//! merge vs. triangle-once oriented kernel comparison on R-MAT and
+//! overlapping-clique generators.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use et_graph::EdgeIndexedGraph;
+use et_graph::{EdgeIndexedGraph, OrientedGraph};
 use et_triangle::intersect;
 use std::hint::black_box;
 
@@ -17,6 +19,48 @@ fn bench_support(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("serial", name), &graph, |b, g| {
             b.iter(|| black_box(et_triangle::compute_support_serial(g)));
         });
+    }
+    group.finish();
+}
+
+/// Merge (triangle visited 3×) vs. oriented (triangle visited once) Support
+/// kernels. The R-MAT instance has ≥ 2^18 edges; the overlapping-clique
+/// instance mimics DBLP-style collaboration structure.
+fn bench_support_kernels(c: &mut Criterion) {
+    let inputs: Vec<(&str, EdgeIndexedGraph)> = vec![
+        (
+            "rmat-s16",
+            EdgeIndexedGraph::new(et_gen::rmat_small(16, 8, 42)),
+        ),
+        (
+            "cliques",
+            EdgeIndexedGraph::new(et_gen::overlapping_cliques(
+                60_000,
+                9_000,
+                (4, 14),
+                120_000,
+                7,
+            )),
+        ),
+    ];
+    let mut group = c.benchmark_group("support_kernels");
+    group.sample_size(10);
+    for (name, graph) in &inputs {
+        group.bench_with_input(BenchmarkId::new("merge", name), graph, |b, g| {
+            b.iter(|| black_box(et_triangle::compute_support(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("oriented", name), graph, |b, g| {
+            b.iter(|| black_box(et_triangle::compute_support_oriented(g)));
+        });
+        // Steady-state cost with the DAG view amortized across runs.
+        let view = OrientedGraph::build(graph);
+        group.bench_with_input(
+            BenchmarkId::new("oriented_prebuilt", name),
+            graph,
+            |b, g| {
+                b.iter(|| black_box(et_triangle::compute_support_with_oriented(g, &view)));
+            },
+        );
     }
     group.finish();
 }
@@ -85,5 +129,10 @@ fn bench_intersection_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_support, bench_intersection_kernels);
+criterion_group!(
+    benches,
+    bench_support,
+    bench_support_kernels,
+    bench_intersection_kernels
+);
 criterion_main!(benches);

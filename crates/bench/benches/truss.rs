@@ -1,7 +1,10 @@
 //! K-truss decomposition benchmarks: serial bucket peeling vs parallel
-//! level-synchronous peeling (DESIGN.md ablation #5).
+//! level-synchronous peeling (DESIGN.md ablation #5), plus scan-seeded vs
+//! bucket-seeded parallel peeling on R-MAT and overlapping-clique
+//! generators.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use et_graph::EdgeIndexedGraph;
 use std::hint::black_box;
 
 fn bench_truss(c: &mut Criterion) {
@@ -19,5 +22,52 @@ fn bench_truss(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_truss);
+/// Per-level full-scan frontier seeding (the PKT textbook loop) vs. the
+/// lazy bucket-queue seeding with the packed per-edge state word. The
+/// support vector is precomputed; its clone cost is identical in both arms.
+/// The dense-clique instance (cliques up to 120 vertices, DBLP's
+/// 119-author-paper tail) pushes max trussness past 100 — the regime where
+/// scan seeding's O(m · k_max) rescans dominate.
+fn bench_peeling(c: &mut Criterion) {
+    let inputs: Vec<(&str, EdgeIndexedGraph)> = vec![
+        (
+            "rmat-s16",
+            EdgeIndexedGraph::new(et_gen::rmat_small(16, 8, 42)),
+        ),
+        (
+            "cliques-dense",
+            EdgeIndexedGraph::new(et_gen::overlapping_cliques(
+                60_000,
+                450,
+                (4, 120),
+                120_000,
+                7,
+            )),
+        ),
+    ];
+    let mut group = c.benchmark_group("peeling");
+    group.sample_size(10);
+    for (name, graph) in &inputs {
+        let support = et_triangle::compute_support_oriented(graph);
+        group.bench_with_input(BenchmarkId::new("scan", name), graph, |b, g| {
+            b.iter(|| {
+                black_box(et_truss::parallel::decompose_parallel_scan_with_support(
+                    g,
+                    support.clone(),
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bucket", name), graph, |b, g| {
+            b.iter(|| {
+                black_box(et_truss::parallel::decompose_parallel_with_support(
+                    g,
+                    support.clone(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truss, bench_peeling);
 criterion_main!(benches);

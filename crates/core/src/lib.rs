@@ -41,6 +41,9 @@ pub mod validate;
 pub use index::{SuperGraph, NO_SUPERNODE};
 pub use original::build_original;
 pub use phi::PhiGroups;
-pub use pipeline::{build_index, build_index_with_decomposition, IndexBuild, Variant};
+pub use pipeline::{
+    build_index, build_index_with_decomposition, build_index_with_kernel, IndexBuild,
+    SupportKernel, Variant,
+};
 pub use stats::IndexStats;
 pub use timings::KernelTimings;

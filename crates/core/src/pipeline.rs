@@ -42,6 +42,42 @@ impl Variant {
     }
 }
 
+/// Which Support kernel seeds the pipeline.
+///
+/// [`SupportKernel::Oriented`] is the default: triangle-once enumeration over
+/// the degree-ordered DAG. [`SupportKernel::Merge`] keeps the per-edge
+/// `N(u) ∩ N(v)` kernel selectable so the Fig. 2-style "Original" breakdown
+/// can still time the three-visits-per-triangle version.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SupportKernel {
+    /// Per-edge sorted-set intersection (each triangle counted three times).
+    Merge,
+    /// Triangle-once oriented enumeration with atomic scatter.
+    #[default]
+    Oriented,
+}
+
+impl SupportKernel {
+    /// Both kernels, oriented (the default) first.
+    pub const ALL: [SupportKernel; 2] = [SupportKernel::Oriented, SupportKernel::Merge];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SupportKernel::Merge => "merge",
+            SupportKernel::Oriented => "oriented",
+        }
+    }
+
+    /// Runs the selected kernel.
+    pub fn compute(&self, graph: &EdgeIndexedGraph) -> Vec<u32> {
+        match self {
+            SupportKernel::Merge => et_triangle::compute_support(graph),
+            SupportKernel::Oriented => et_triangle::compute_support_oriented(graph),
+        }
+    }
+}
+
 /// A constructed index plus its kernel timings.
 #[derive(Clone, Debug)]
 pub struct IndexBuild {
@@ -52,13 +88,21 @@ pub struct IndexBuild {
 }
 
 /// Full pipeline: Support → parallel truss decomposition → index
-/// construction with the chosen variant.
+/// construction with the chosen variant, using the default (oriented,
+/// triangle-once) Support kernel.
 pub fn build_index(graph: &EdgeIndexedGraph, variant: Variant) -> IndexBuild {
+    build_index_with_kernel(graph, variant, SupportKernel::default())
+}
+
+/// Full pipeline with an explicit Support kernel choice.
+pub fn build_index_with_kernel(
+    graph: &EdgeIndexedGraph,
+    variant: Variant,
+    kernel: SupportKernel,
+) -> IndexBuild {
     let _build_span = et_obs::span(format!("BuildIndex({})", variant.name()));
     let mut timings = KernelTimings::default();
-    let support = timed_span(&mut timings.support, "Support", || {
-        et_triangle::compute_support(graph)
-    });
+    let support = timed_span(&mut timings.support, "Support", || kernel.compute(graph));
     let decomposition = timed_span(&mut timings.truss_decomp, "TrussDecomp", || {
         et_truss::parallel::decompose_parallel_with_support(graph, support)
     });
@@ -118,9 +162,11 @@ pub fn build_index_with_decomposition(
         });
     }
 
-    // SmGraph merge (Algorithm 4).
+    // SmGraph merge (Algorithm 4). Partition count is clamped to the number
+    // of non-empty subsets so tiny graphs don't spawn empty merge partitions.
     let merged = timed_span(&mut timings.smgraph, "SmGraph", || {
-        merge_supergraph(&subsets, rayon::current_num_threads())
+        let partitions = rayon::current_num_threads().min(subsets.len()).max(1);
+        merge_supergraph(&subsets, partitions)
     });
 
     // Dense renumbering + assembly.
@@ -172,6 +218,14 @@ mod tests {
             et_gen::overlapping_cliques(250, 50, (3, 8), 120, 11),
             "collab",
         );
+    }
+
+    #[test]
+    fn support_kernels_build_identical_indexes() {
+        let eg = EdgeIndexedGraph::new(et_gen::overlapping_cliques(150, 30, (3, 6), 60, 9));
+        let oriented = build_index_with_kernel(&eg, Variant::COptimal, SupportKernel::Oriented);
+        let merge = build_index_with_kernel(&eg, Variant::COptimal, SupportKernel::Merge);
+        assert_eq!(oriented.index.canonical(), merge.index.canonical());
     }
 
     #[test]

@@ -175,7 +175,8 @@ impl DynamicIndex {
         for (k, group) in phi.iter() {
             self.spedge_group(k, group, &mut subsets);
         }
-        let merged = merge_supergraph(&subsets, rayon::current_num_threads());
+        let partitions = rayon::current_num_threads().min(subsets.len()).max(1);
+        let merged = merge_supergraph(&subsets, partitions);
         self.index = remap_and_assemble(self.graph.edge_capacity(), &self.parent, &merged, &phi);
     }
 

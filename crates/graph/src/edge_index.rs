@@ -56,21 +56,26 @@ impl EdgeIndexedGraph {
         }
 
         // Pass 2: mirror onto backward arcs (u > v) by locating the forward
-        // arc with a binary search — parallel over rows.
-        let offsets = graph.offsets().to_vec();
+        // arc with a binary search — parallel over arc chunks. One partition
+        // point per chunk finds the starting row; rows then advance with the
+        // chunk cursor, so no per-arc search and no copy of `offsets`.
+        let offsets = graph.offsets();
         let fwd = arc_eid.clone();
         arc_eid
             .par_chunks_mut(1 << 12)
             .enumerate()
             .for_each(|(chunk_idx, chunk)| {
                 let start = chunk_idx << 12;
+                let mut u = offsets.partition_point(|&o| o <= start) - 1;
                 for (k, slot) in chunk.iter_mut().enumerate() {
                     let arc = start + k;
+                    while offsets[u + 1] <= arc {
+                        u += 1;
+                    }
                     if *slot != EdgeId::MAX {
                         continue;
                     }
-                    // Row of this arc: partition point over offsets.
-                    let u = offsets.partition_point(|&o| o <= arc) as VertexId - 1;
+                    let u = u as VertexId;
                     let v = graph.raw_neighbors()[arc];
                     debug_assert!(v < u);
                     let pos = graph

@@ -14,6 +14,9 @@
 //!   problem, so O(1) arc→edge-id resolution after a neighborhood intersection
 //!   is the key data-structure optimization of the paper's C-Optimal variant
 //!   (§3.3: "the search space is reduced to only the neighborhood list").
+//! * [`OrientedGraph`] — a degree-ordered DAG view with per-arc edge ids:
+//!   every triangle appears exactly once, powering the triangle-once Support
+//!   kernel in `et-triangle`.
 //! * [`GraphBuilder`] — canonicalizes arbitrary edge lists (symmetrize,
 //!   dedup, drop self-loops) into a [`CsrGraph`].
 //!
@@ -38,6 +41,7 @@ pub mod edge_index;
 pub mod edgelist;
 pub mod io;
 pub mod ordering;
+pub mod oriented;
 pub mod packed;
 pub mod stats;
 pub mod view;
@@ -46,6 +50,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use edge_index::EdgeIndexedGraph;
 pub use edgelist::EdgeList;
+pub use oriented::OrientedGraph;
 pub use stats::GraphStats;
 
 /// Vertex identifier. Graphs in this workspace are bounded to `u32::MAX`

@@ -1,0 +1,272 @@
+//! Degree-ordered oriented (DAG) view of an edge-indexed graph.
+//!
+//! The merge-based Support kernel intersects `N(u) ∩ N(v)` independently for
+//! every edge, discovering each triangle three times. Orienting every edge
+//! from its lower-*rank* endpoint to its higher-rank endpoint (rank =
+//! position in the non-decreasing degree order) turns the graph into a DAG in
+//! which each triangle `{u, v, w}` survives as exactly one directed wedge
+//! `u → v`, `u → w`, `v → w` — the classic forward/oriented triangle
+//! enumeration (Schank & Wagner; the same ordering bounds the paper's §3.2
+//! O(|E|^1.5) intersection cost). [`OrientedGraph`] materializes that DAG in
+//! CSR form, rows sorted by rank, with the *undirected* edge id riding on
+//! every arc so kernels can scatter per-edge results straight back into
+//! edge-id-indexed arrays.
+//!
+//! Because every undirected edge contributes exactly one arc,
+//! `num_arcs() == graph.num_edges()`.
+
+use crate::{EdgeId, EdgeIndexedGraph, VertexId};
+use rayon::prelude::*;
+
+/// A degree-ordered DAG CSR over the edges of an [`EdgeIndexedGraph`].
+///
+/// Row `r` holds the out-arcs of the vertex with rank `r`; targets are stored
+/// as *ranks* (not vertex ids) and are strictly increasing within a row, so
+/// two rows can be intersected with a linear merge. `arc_eids` is aligned
+/// with `targets` and carries the undirected edge id of each arc.
+#[derive(Clone, Debug)]
+pub struct OrientedGraph {
+    /// Row boundaries, length `n + 1`; row `r` spans `offsets[r]..offsets[r+1]`.
+    offsets: Vec<usize>,
+    /// Destination *rank* of each arc; strictly increasing within a row.
+    targets: Vec<VertexId>,
+    /// Undirected edge id of each arc, aligned with `targets`.
+    arc_eids: Vec<EdgeId>,
+    /// `rank[v]` = rank of vertex `v` in the degree order.
+    rank: Vec<VertexId>,
+    /// `order[r]` = vertex with rank `r` (inverse of `rank`).
+    order: Vec<VertexId>,
+}
+
+impl OrientedGraph {
+    /// Builds the degree-ordered DAG view of `graph` in parallel.
+    ///
+    /// Ranks follow [`crate::ordering::degree_order`]: non-decreasing degree,
+    /// ties by vertex id — deterministic for a given canonical graph.
+    pub fn build(graph: &EdgeIndexedGraph) -> Self {
+        let n = graph.num_vertices();
+        let rank = crate::ordering::degree_order(graph.graph());
+        let mut order = vec![0 as VertexId; n];
+        for (v, &r) in rank.iter().enumerate() {
+            order[r as usize] = v as VertexId;
+        }
+
+        // Out-degrees in rank space, computed row-parallel.
+        let out_deg: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|r| {
+                let u = order[r];
+                let ru = r as VertexId;
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&v| rank[v as usize] > ru)
+                    .count()
+            })
+            .collect();
+        let mut offsets = vec![0usize; n + 1];
+        for r in 0..n {
+            offsets[r + 1] = offsets[r] + out_deg[r];
+        }
+        let num_arcs = offsets[n];
+        debug_assert_eq!(num_arcs, graph.num_edges());
+
+        // Fill rows in parallel: carve per-row mutable slices out of the two
+        // arc arrays (disjoint by construction), then sort each row by rank.
+        let mut targets = vec![0 as VertexId; num_arcs];
+        let mut arc_eids = vec![0 as EdgeId; num_arcs];
+        let mut rows: Vec<(usize, &mut [VertexId], &mut [EdgeId])> = Vec::with_capacity(n);
+        {
+            let (mut t_rest, mut e_rest) = (targets.as_mut_slice(), arc_eids.as_mut_slice());
+            for (r, &len) in out_deg.iter().enumerate() {
+                let (t_row, t_tail) = t_rest.split_at_mut(len);
+                let (e_row, e_tail) = e_rest.split_at_mut(len);
+                t_rest = t_tail;
+                e_rest = e_tail;
+                rows.push((r, t_row, e_row));
+            }
+        }
+        rows.into_par_iter().for_each(|(r, t_row, e_row)| {
+            let u = order[r];
+            let ru = r as VertexId;
+            let mut buf: Vec<(VertexId, EdgeId)> = Vec::with_capacity(t_row.len());
+            for (v, eid) in graph.neighbors_with_eids(u) {
+                let rv = rank[v as usize];
+                if rv > ru {
+                    buf.push((rv, eid));
+                }
+            }
+            // Neighbor lists are sorted by vertex id, not rank.
+            buf.sort_unstable();
+            for (slot, (rv, eid)) in buf.into_iter().enumerate() {
+                t_row[slot] = rv;
+                e_row[slot] = eid;
+            }
+        });
+
+        OrientedGraph {
+            offsets,
+            targets,
+            arc_eids,
+            rank,
+            order,
+        }
+    }
+
+    /// Number of vertices (= number of rows).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of oriented arcs — equal to the number of undirected edges.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Row boundaries (length `n + 1`), indexed by rank.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Out-targets (as ranks) of the vertex with rank `r`, strictly increasing.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[VertexId] {
+        &self.targets[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Undirected edge ids aligned with [`OrientedGraph::row`] of rank `r`.
+    #[inline]
+    pub fn row_eids(&self, r: usize) -> &[EdgeId] {
+        &self.arc_eids[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Raw destination-rank array (length `num_arcs()`).
+    #[inline]
+    pub fn raw_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Raw per-arc undirected edge-id array (length `num_arcs()`).
+    #[inline]
+    pub fn raw_arc_eids(&self) -> &[EdgeId] {
+        &self.arc_eids
+    }
+
+    /// Rank of vertex `v` in the degree order.
+    #[inline]
+    pub fn rank_of(&self, v: VertexId) -> VertexId {
+        self.rank[v as usize]
+    }
+
+    /// Vertex with rank `r` (inverse of [`OrientedGraph::rank_of`]).
+    #[inline]
+    pub fn vertex_of_rank(&self, r: usize) -> VertexId {
+        self.order[r]
+    }
+
+    /// Verifies the DAG invariants; returns the first violation found.
+    pub fn validate(&self, graph: &EdgeIndexedGraph) -> Result<(), String> {
+        if self.num_arcs() != graph.num_edges() {
+            return Err(format!(
+                "arc count {} != edge count {}",
+                self.num_arcs(),
+                graph.num_edges()
+            ));
+        }
+        for r in 0..self.num_vertices() {
+            let row = self.row(r);
+            let eids = self.row_eids(r);
+            for (i, (&t, &e)) in row.iter().zip(eids).enumerate() {
+                if t as usize <= r {
+                    return Err(format!("row {r} arc {i} points down-rank to {t}"));
+                }
+                if i > 0 && row[i - 1] >= t {
+                    return Err(format!("row {r} not strictly increasing at {i}"));
+                }
+                let (u, v) = graph.endpoints(e);
+                let (a, b) = (self.vertex_of_rank(r), self.vertex_of_rank(t as usize));
+                if (u, v) != (a.min(b), a.max(b)) {
+                    return Err(format!("row {r} arc {i} carries wrong edge id {e}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn indexed(n: usize, edges: &[(u32, u32)]) -> EdgeIndexedGraph {
+        EdgeIndexedGraph::new(GraphBuilder::from_edges(n, edges).build())
+    }
+
+    #[test]
+    fn arcs_equal_edges_and_validate() {
+        let eg = indexed(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)]);
+        let og = OrientedGraph::build(&eg);
+        assert_eq!(og.num_arcs(), eg.num_edges());
+        og.validate(&eg).unwrap();
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let eg = indexed(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let og = OrientedGraph::build(&eg);
+        for r in 0..og.num_vertices() {
+            assert_eq!(og.rank_of(og.vertex_of_rank(r)) as usize, r);
+        }
+        // Hub vertex 0 has the highest degree, hence the highest rank.
+        assert_eq!(og.vertex_of_rank(4), 0);
+    }
+
+    #[test]
+    fn every_edge_appears_exactly_once() {
+        let eg = indexed(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+            ],
+        );
+        let og = OrientedGraph::build(&eg);
+        let mut seen = vec![0u32; eg.num_edges()];
+        for &e in og.raw_arc_eids() {
+            seen[e as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let eg = EdgeIndexedGraph::new(crate::CsrGraph::empty(4));
+        let og = OrientedGraph::build(&eg);
+        assert_eq!(og.num_arcs(), 0);
+        assert_eq!(og.num_vertices(), 4);
+        og.validate(&eg).unwrap();
+
+        let empty = EdgeIndexedGraph::new(crate::CsrGraph::empty(0));
+        let og = OrientedGraph::build(&empty);
+        assert_eq!(og.num_vertices(), 0);
+        og.validate(&empty).unwrap();
+    }
+
+    #[test]
+    fn validate_flags_corruption() {
+        let eg = indexed(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut og = OrientedGraph::build(&eg);
+        og.arc_eids.swap(0, 1);
+        assert!(og.validate(&eg).is_err());
+    }
+}

@@ -7,7 +7,11 @@
 //!
 //! * [`intersect`] — sorted-set intersection kernels (merge, binary-probe,
 //!   galloping) with an adaptive dispatcher,
-//! * [`support`] — the parallel Support kernel over an [`et_graph::EdgeIndexedGraph`],
+//! * [`support`] — the merge-based Support kernel over an
+//!   [`et_graph::EdgeIndexedGraph`] (one intersection per edge; kept as the
+//!   test oracle and the "Original" timing reference),
+//! * [`oriented`] — the triangle-once Support kernel over the degree-ordered
+//!   DAG of [`et_graph::OrientedGraph`] (default in the pipeline),
 //! * [`count`] — global triangle counting (node- and edge-iterator),
 //! * [`enumerate`] — per-edge triangle enumeration used by the SpNode /
 //!   SpEdge kernels, including the trussness-filtered variant that realizes
@@ -18,8 +22,10 @@
 pub mod count;
 pub mod enumerate;
 pub mod intersect;
+pub mod oriented;
 pub mod support;
 
 pub use count::{count_triangles, count_triangles_per_vertex};
 pub use enumerate::{for_each_triangle_of_edge, for_each_truss_triangle_of_edge};
+pub use oriented::{compute_support_oriented, compute_support_with_oriented};
 pub use support::{compute_support, compute_support_serial};

@@ -1,10 +1,13 @@
-//! The Support kernel: per-edge triangle counts (paper Definition 2).
+//! The merge-based Support kernel: per-edge triangle counts (Definition 2).
 //!
 //! `support(e = (u, v)) = |N(u) ∩ N(v)|`. This is the first kernel of every
 //! EquiTruss pipeline (Fig. 2 and Fig. 4), parallelized flatly over edge ids
 //! with rayon. Because adjacency lists are sorted and the edge table is
 //! dense, each edge's support is computed independently — embarrassingly
-//! parallel, deterministic regardless of thread count.
+//! parallel, deterministic regardless of thread count. The cost is that each
+//! triangle is intersected three times, once per edge; the triangle-once
+//! [`crate::oriented`] kernel is the faster default, with this kernel kept as
+//! the oracle and the "Original" breakdown's timing reference.
 
 use crate::intersect::intersect_count;
 use et_graph::{EdgeId, EdgeIndexedGraph};

@@ -6,6 +6,21 @@
 //! peeled at level `l` get trussness `l + 2`. The output is identical to the
 //! serial decomposition because truss decomposition is unique.
 //!
+//! Two engineering choices distinguish the default path from the textbook
+//! version (kept as [`decompose_parallel_scan_with_support`] for the
+//! before/after benchmark):
+//!
+//! * **Bucket-queue frontier seeding.** The scan version rescans all *m*
+//!   edges once per support level to find the level's initial frontier —
+//!   O(m·max_sup) wasted scans on skewed graphs. Here edges are bucketed by
+//!   support up front; every decrement lazily re-queues the edge in its new
+//!   bucket, and stale entries (support moved on, or already peeled) are
+//!   skipped when a bucket is drained. Total seeding work drops to
+//!   O(m + #decrements).
+//! * **One packed state word per edge.** `processed`/`in_cur`/`queued` live
+//!   as bits of a single `AtomicU8` instead of separate bool arrays, so the
+//!   peel inner loop touches one cache-line stream instead of three.
+//!
 //! The delicate part is triangle double-counting when several edges of one
 //! triangle peel in the same round; the tie-breaking rules below are the
 //! standard PKT resolution (lowest edge id of the in-frontier pair does the
@@ -13,9 +28,22 @@
 
 use crate::TrussDecomposition;
 use et_graph::{EdgeId, EdgeIndexedGraph};
-use et_triangle::{compute_support, for_each_triangle_of_edge};
+use et_triangle::{compute_support_oriented, for_each_triangle_of_edge};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+
+/// Packed per-edge peel state: edge is in the round currently processing.
+const IN_CUR: u8 = 1;
+/// Packed per-edge peel state: edge was peeled in an earlier round.
+const PROCESSED: u8 = 1 << 1;
+/// Packed per-edge peel state: edge was claimed for the current level's
+/// frontier during bucket seeding (dedups stale duplicate bucket entries).
+const QUEUED: u8 = 1 << 2;
+/// Packed per-edge peel state: edge's support dropped this level (but stayed
+/// above the floor) and it is already recorded for bucket repair. Dedups
+/// repair pushes — a hub edge decremented dozens of times across a level's
+/// rounds gets exactly one new bucket entry. Cleared at level-end repair.
+const MOVED: u8 = 1 << 3;
 
 /// Parallel level-synchronous truss decomposition.
 ///
@@ -25,13 +53,14 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 pub fn decompose_parallel(graph: &EdgeIndexedGraph) -> TrussDecomposition {
     let support = {
         let _span = et_obs::span("Support");
-        compute_support(graph)
+        compute_support_oriented(graph)
     };
     let _span = et_obs::span("TrussDecomp");
     decompose_parallel_with_support(graph, support)
 }
 
-/// Parallel peeling when the Support kernel already ran.
+/// Parallel peeling when the Support kernel already ran: bucket-queue
+/// frontier seeding (no per-level full scans) with a packed state word.
 pub fn decompose_parallel_with_support(
     graph: &EdgeIndexedGraph,
     support: Vec<u32>,
@@ -41,15 +70,255 @@ pub fn decompose_parallel_with_support(
         return TrussDecomposition::new(Vec::new());
     }
     let max_sup = support.iter().copied().max().unwrap_or(0);
+
+    // Bucket edges by initial support (counting pass sizes each bucket
+    // exactly). Buckets are *lazy*: entries are invalidated by peeling or by
+    // further decrements, and skipped at drain time.
+    let mut buckets: Vec<Vec<EdgeId>> = {
+        let mut sizes = vec![0usize; max_sup as usize + 1];
+        for &s in &support {
+            sizes[s as usize] += 1;
+        }
+        sizes.iter().map(|&c| Vec::with_capacity(c)).collect()
+    };
+    for (e, &s) in support.iter().enumerate() {
+        buckets[s as usize].push(e as EdgeId);
+    }
+
     let support: Vec<AtomicU32> = support.into_iter().map(AtomicU32::new).collect();
-    // processed: peeled in an earlier round. in_cur: peeling right now.
-    let processed: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
-    let in_cur: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let state: Vec<AtomicU8> = (0..m).map(|_| AtomicU8::new(0)).collect();
     let trussness: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
 
     let tracing = et_obs::enabled();
     let mut levels_with_work = 0u64;
     let mut peel_rounds = 0u64;
+    let mut bucket_repairs = 0u64;
+    let mut scan_skips = 0u64;
+    let mut remaining = m;
+    let mut level: u32 = 0;
+    while remaining > 0 && level <= max_sup {
+        // Seed this level's frontier from its bucket. Entries whose support
+        // moved on since they were queued are stale — their decrement already
+        // re-queued them in a lower bucket (or will hand them to a frontier
+        // via the floor-hitting CAS), so they are simply skipped.
+        // Seeding runs between rounds, so supports are stable; duplicate
+        // entries for the same edge are settled by the atomic QUEUED claim
+        // (exactly one wins the fetch_or).
+        let drained = std::mem::take(&mut buckets[level as usize]);
+        let mut frontier: Vec<EdgeId> = drained
+            .par_iter()
+            .filter(|&&e| {
+                let i = e as usize;
+                state[i].load(Ordering::Relaxed) & (PROCESSED | QUEUED) == 0
+                    && support[i].load(Ordering::Relaxed) == level
+                    && state[i].fetch_or(QUEUED, Ordering::Relaxed) & QUEUED == 0
+            })
+            .copied()
+            .collect();
+        scan_skips += (drained.len() - frontier.len()) as u64;
+
+        if !frontier.is_empty() {
+            levels_with_work += 1;
+        }
+        // Edges whose support dropped this level but stayed above the floor.
+        // Repair is deferred to level end: bucket entries are only consumed
+        // when a *future* level starts its drain, and same-level floor hits
+        // reach the frontier through the CAS path, so nothing is lost by
+        // batching — and the MOVED bit then dedups across the whole level
+        // (one repair per edge per level instead of one per round).
+        let mut moved_level: Vec<EdgeId> = Vec::new();
+        while !frontier.is_empty() {
+            peel_rounds += 1;
+            if tracing {
+                et_obs::record_value("truss.frontier_len", frontier.len() as u64);
+            }
+            for &e in &frontier {
+                state[e as usize].fetch_or(IN_CUR, Ordering::Relaxed);
+            }
+            // Process the round: decrement surviving triangle partners.
+            // `next` collects edges that hit the level floor (the next
+            // round's frontier, exactly-once via the floor-hitting CAS);
+            // `moved` collects edges whose support dropped but stayed above
+            // the floor, for lazy bucket repair at level end.
+            let parts: Vec<(Vec<EdgeId>, Vec<EdgeId>)> = frontier
+                .par_iter()
+                .fold(
+                    || (Vec::new(), Vec::new()),
+                    |mut acc, &e| {
+                        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+                            let (i1, i2) = (e1 as usize, e2 as usize);
+                            let s1 = state[i1].load(Ordering::Relaxed);
+                            let s2 = state[i2].load(Ordering::Relaxed);
+                            if (s1 | s2) & PROCESSED != 0 {
+                                return;
+                            }
+                            let c1 = s1 & IN_CUR != 0;
+                            let c2 = s2 & IN_CUR != 0;
+                            match (c1, c2) {
+                                (true, true) => {} // whole triangle peels together
+                                (true, false) => {
+                                    // e and e1 peel; exactly one of them (the
+                                    // smaller id) decrements e2.
+                                    if e < e1 {
+                                        decrement(
+                                            &support[i2],
+                                            &state[i2],
+                                            s2,
+                                            level,
+                                            e2,
+                                            &mut acc,
+                                        );
+                                    }
+                                }
+                                (false, true) => {
+                                    if e < e2 {
+                                        decrement(
+                                            &support[i1],
+                                            &state[i1],
+                                            s1,
+                                            level,
+                                            e1,
+                                            &mut acc,
+                                        );
+                                    }
+                                }
+                                (false, false) => {
+                                    decrement(&support[i1], &state[i1], s1, level, e1, &mut acc);
+                                    decrement(&support[i2], &state[i2], s2, level, e2, &mut acc);
+                                }
+                            }
+                        });
+                        acc
+                    },
+                )
+                .collect();
+
+            // Retire the round.
+            frontier.par_iter().for_each(|&e| {
+                let i = e as usize;
+                trussness[i].store(level + 2, Ordering::Relaxed);
+                state[i].store(PROCESSED, Ordering::Relaxed);
+            });
+            remaining -= frontier.len();
+
+            // Flatten the per-job pairs with exact reserves (no quadratic
+            // re-append chains); moved edges accumulate for the level-end
+            // bucket repair.
+            let next_len: usize = parts.iter().map(|p| p.0.len()).sum();
+            let moved_len: usize = parts.iter().map(|p| p.1.len()).sum();
+            let mut next: Vec<EdgeId> = Vec::with_capacity(next_len);
+            moved_level.reserve(moved_len);
+            for (n, moved) in parts {
+                next.extend(n);
+                moved_level.extend(moved);
+            }
+            frontier = next;
+        }
+
+        // Level-end bucket repair: re-queue each moved edge at its settled
+        // support. The MOVED bit made entries unique, so the parallel
+        // filter touches disjoint state words; only the Vec pushes stay
+        // serial. s == level would mean a floor-hitting decrement queued
+        // the edge into a frontier and it was peeled above; surviving moved
+        // edges always sit strictly above the floor.
+        let repairs: Vec<(EdgeId, u32)> = moved_level
+            .par_iter()
+            .filter_map(|&e| {
+                let i = e as usize;
+                let st = state[i].load(Ordering::Relaxed);
+                state[i].store(st & !MOVED, Ordering::Relaxed);
+                if st & PROCESSED != 0 {
+                    return None;
+                }
+                let s = support[i].load(Ordering::Relaxed);
+                (s > level).then_some((e, s))
+            })
+            .collect();
+        bucket_repairs += repairs.len() as u64;
+        for (e, s) in repairs {
+            buckets[s as usize].push(e);
+        }
+        level += 1;
+    }
+
+    et_obs::counter_add("truss.levels", levels_with_work);
+    et_obs::counter_add("truss.peel_rounds", peel_rounds);
+    et_obs::counter_add("truss.bucket_repairs", bucket_repairs);
+    et_obs::counter_add("truss.scan_skips", scan_skips);
+    TrussDecomposition::new(
+        trussness
+            .into_iter()
+            .map(|a| a.into_inner())
+            .collect::<Vec<u32>>(),
+    )
+}
+
+/// Atomically decrements `slot` without going below `floor`; if this call is
+/// the one that lands exactly on `floor`, the edge joins the next round via
+/// `acc.0` (exactly-once: only the successful floor-hitting CAS pushes).
+/// Other successful decrements record the edge in `acc.1` for bucket repair
+/// at level end — at most once per level, via the `MOVED` bit. `state_hint`
+/// is the caller's already-loaded state word: MOVED only transitions 0→1
+/// within a level (repair clears it between levels), so a hint with the bit
+/// set is still true and skips the RMW; a clear hint falls through to the
+/// race-settling `fetch_or`.
+#[inline]
+fn decrement(
+    slot: &AtomicU32,
+    state: &AtomicU8,
+    state_hint: u8,
+    floor: u32,
+    e: EdgeId,
+    acc: &mut (Vec<EdgeId>, Vec<EdgeId>),
+) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        if cur <= floor {
+            return; // already at (or queued for) this level
+        }
+        match slot.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                if cur - 1 == floor {
+                    acc.0.push(e);
+                } else if state_hint & MOVED == 0
+                    && state.fetch_or(MOVED, Ordering::Relaxed) & MOVED == 0
+                {
+                    acc.1.push(e);
+                }
+                return;
+            }
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// The pre-bucket-queue peeling loop: rescans all `m` edges once per support
+/// level to seed frontiers, with separate `processed`/`in_cur` bool arrays.
+///
+/// Kept byte-for-byte as the predecessor so the `truss` criterion bench can
+/// measure scan vs. bucket seeding on the same inputs; not used by the
+/// pipeline.
+pub fn decompose_parallel_scan(graph: &EdgeIndexedGraph) -> TrussDecomposition {
+    let support = compute_support_oriented(graph);
+    decompose_parallel_scan_with_support(graph, support)
+}
+
+/// Scan-seeded parallel peeling given a precomputed support vector (the
+/// predecessor of [`decompose_parallel_with_support`]).
+pub fn decompose_parallel_scan_with_support(
+    graph: &EdgeIndexedGraph,
+    support: Vec<u32>,
+) -> TrussDecomposition {
+    let m = graph.num_edges();
+    if m == 0 {
+        return TrussDecomposition::new(Vec::new());
+    }
+    let max_sup = support.iter().copied().max().unwrap_or(0);
+    let support: Vec<AtomicU32> = support.into_iter().map(AtomicU32::new).collect();
+    let processed: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let in_cur: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let trussness: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+
     let mut remaining = m;
     let mut level: u32 = 0;
     while remaining > 0 && level <= max_sup {
@@ -62,18 +331,10 @@ pub fn decompose_parallel_with_support(
             })
             .collect();
 
-        if tracing && !frontier.is_empty() {
-            levels_with_work += 1;
-        }
         while !frontier.is_empty() {
-            peel_rounds += 1;
-            if tracing {
-                et_obs::record_value("truss.frontier_len", frontier.len() as u64);
-            }
             for &e in &frontier {
                 in_cur[e as usize].store(true, Ordering::Relaxed);
             }
-            // Process the round: decrement surviving triangle partners.
             let next: Vec<EdgeId> = frontier
                 .par_iter()
                 .fold(Vec::new, |mut acc, &e| {
@@ -87,22 +348,20 @@ pub fn decompose_parallel_with_support(
                         let c1 = in_cur[i1].load(Ordering::Relaxed);
                         let c2 = in_cur[i2].load(Ordering::Relaxed);
                         match (c1, c2) {
-                            (true, true) => {} // whole triangle peels together
+                            (true, true) => {}
                             (true, false) => {
-                                // e and e1 peel; exactly one of them (the
-                                // smaller id) decrements e2.
                                 if e < e1 {
-                                    decrement(&support[i2], level, e2, &mut acc);
+                                    decrement_scan(&support[i2], level, e2, &mut acc);
                                 }
                             }
                             (false, true) => {
                                 if e < e2 {
-                                    decrement(&support[i1], level, e1, &mut acc);
+                                    decrement_scan(&support[i1], level, e1, &mut acc);
                                 }
                             }
                             (false, false) => {
-                                decrement(&support[i1], level, e1, &mut acc);
-                                decrement(&support[i2], level, e2, &mut acc);
+                                decrement_scan(&support[i1], level, e1, &mut acc);
+                                decrement_scan(&support[i2], level, e2, &mut acc);
                             }
                         }
                     });
@@ -113,7 +372,6 @@ pub fn decompose_parallel_with_support(
                     a
                 });
 
-            // Retire the round.
             frontier.par_iter().for_each(|&e| {
                 let i = e as usize;
                 trussness[i].store(level + 2, Ordering::Relaxed);
@@ -126,8 +384,6 @@ pub fn decompose_parallel_with_support(
         level += 1;
     }
 
-    et_obs::counter_add("truss.levels", levels_with_work);
-    et_obs::counter_add("truss.peel_rounds", peel_rounds);
     TrussDecomposition::new(
         trussness
             .into_iter()
@@ -136,15 +392,13 @@ pub fn decompose_parallel_with_support(
     )
 }
 
-/// Atomically decrements `slot` without going below `floor`; if this call is
-/// the one that lands exactly on `floor`, the edge joins the next round via
-/// `acc` (exactly-once: only the successful floor-hitting CAS pushes).
+/// Floor-clamped decrement of the scan-seeded predecessor.
 #[inline]
-fn decrement(slot: &AtomicU32, floor: u32, e: EdgeId, acc: &mut Vec<EdgeId>) {
+fn decrement_scan(slot: &AtomicU32, floor: u32, e: EdgeId, acc: &mut Vec<EdgeId>) {
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         if cur <= floor {
-            return; // already at (or queued for) this level
+            return;
         }
         match slot.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => {
@@ -187,6 +441,27 @@ mod tests {
     fn matches_serial_on_collaboration_graph() {
         let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(300, 60, (3, 8), 100, 4));
         assert_eq!(decompose_serial(&g), decompose_parallel(&g));
+    }
+
+    #[test]
+    fn scan_seeding_matches_bucket_seeding() {
+        for f in fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            assert_eq!(
+                decompose_parallel(&eg),
+                decompose_parallel_scan(&eg),
+                "fixture {}",
+                f.name
+            );
+        }
+        for seed in 0..6 {
+            let g = EdgeIndexedGraph::new(et_gen::rmat_small(8, 8, seed));
+            assert_eq!(
+                decompose_parallel(&g),
+                decompose_parallel_scan(&g),
+                "rmat seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -110,6 +110,41 @@ fn chrome_trace_has_kernel_spans_and_counters() {
 }
 
 #[test]
+fn oriented_support_counters_match_triangle_count() {
+    let _guard = LOCK.lock().unwrap();
+    let eg = test_graph();
+    obs::set_enabled(true);
+    obs::reset();
+    let support = parallel_equitruss::triangle::compute_support_oriented(&eg);
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    // Each triangle is enumerated exactly once but contributes +1 to three
+    // edge supports, so 3 × the counter equals the support sum.
+    let support_sum: u64 = support.iter().map(|&s| s as u64).sum();
+    assert_eq!(snap.counter("support.oriented_triangles") * 3, support_sum);
+    assert!(snap.counter("support.chunks") > 0);
+}
+
+#[test]
+fn bucketed_peeling_emits_counters() {
+    let _guard = LOCK.lock().unwrap();
+    let eg = test_graph();
+    obs::set_enabled(true);
+    obs::reset();
+    parallel_equitruss::truss::decompose_parallel(&eg);
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    assert!(snap.counter("truss.levels") > 0);
+    assert!(snap.counter("truss.peel_rounds") >= snap.counter("truss.levels"));
+    // The clique generator guarantees cascading decrements, so lazy bucket
+    // repair must have fired at least once.
+    assert!(snap.counter("truss.bucket_repairs") > 0);
+    assert!(snap.distribution("truss.frontier_len").is_some());
+}
+
+#[test]
 fn counters_aggregate_under_rayon() {
     let _guard = LOCK.lock().unwrap();
     obs::set_enabled(true);

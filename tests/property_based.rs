@@ -10,7 +10,12 @@ use parallel_equitruss::equitruss::{
     Variant, NO_SUPERNODE,
 };
 use parallel_equitruss::graph::{EdgeIndexedGraph, GraphBuilder};
-use parallel_equitruss::triangle::compute_support;
+use parallel_equitruss::triangle::{
+    compute_support, compute_support_oriented, compute_support_serial,
+};
+use parallel_equitruss::truss::parallel::{
+    decompose_parallel_scan_with_support, decompose_parallel_with_support,
+};
 use parallel_equitruss::truss::{brute_force_trussness, decompose_parallel, decompose_serial};
 use proptest::prelude::*;
 
@@ -42,6 +47,22 @@ proptest! {
             }
             prop_assert_eq!(support[e as usize], count, "edge ({}, {})", u, v);
         }
+    }
+
+    #[test]
+    fn oriented_support_matches_merge_and_serial(graph in arb_graph()) {
+        let oriented = compute_support_oriented(&graph);
+        prop_assert_eq!(&oriented, &compute_support(&graph));
+        prop_assert_eq!(&oriented, &compute_support_serial(&graph));
+    }
+
+    #[test]
+    fn bucket_and_scan_peeling_agree(graph in arb_graph()) {
+        let support = compute_support(&graph);
+        let bucket = decompose_parallel_with_support(&graph, support.clone());
+        let scan = decompose_parallel_scan_with_support(&graph, support);
+        prop_assert_eq!(&bucket, &scan);
+        prop_assert_eq!(&bucket, &decompose_serial(&graph));
     }
 
     #[test]
