@@ -1,13 +1,17 @@
-//! Kernel smoke benchmark: merge vs. oriented Support and scan vs. bucket
-//! peeling, timed with plain wall clocks and dumped as a JSON artifact
-//! (`BENCH_support.json` by default).
+//! Kernel smoke benchmark: merge vs. oriented Support, scan vs. bucket
+//! peeling, and per-variant index construction under both SpNode/SpEdge
+//! schedules, timed with plain wall clocks and dumped as JSON artifacts
+//! (`BENCH_support.json` + `BENCH_index.json` by default).
 //!
 //! This is not a statistics-grade benchmark — criterion owns that — but a
 //! cheap CI tripwire: it runs in seconds, proves the kernels agree, and
 //! records a speedup snapshot so regressions show up in the artifact diff.
 //!
-//! Usage: `bench_smoke [--quick] [--out PATH]`
+//! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH]`
 
+use et_core::{
+    build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, Variant,
+};
 use et_graph::EdgeIndexedGraph;
 use serde::Serialize;
 use std::time::Instant;
@@ -32,6 +36,35 @@ struct Report {
     threads: usize,
     reps: usize,
     results: Vec<GraphRow>,
+}
+
+#[derive(Serialize)]
+struct IndexRow {
+    graph: String,
+    variant: &'static str,
+    schedule: &'static str,
+    spnode_ms: f64,
+    spedge_ms: f64,
+    index_construction_ms: f64,
+}
+
+/// The number of Φ_k groups per graph — the width of each SpNode/SpEdge
+/// wave (every group is dispatched concurrently under [`Schedule::Wave`]).
+#[derive(Serialize)]
+struct WaveWidth {
+    graph: String,
+    groups: usize,
+    max_trussness: u32,
+}
+
+#[derive(Serialize)]
+struct IndexReport {
+    benchmark: &'static str,
+    quick: bool,
+    threads: usize,
+    reps: usize,
+    wave_widths: Vec<WaveWidth>,
+    results: Vec<IndexRow>,
 }
 
 fn time_ms<T>(f: &mut impl FnMut() -> T) -> f64 {
@@ -64,6 +97,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_support.json".to_string());
+    let index_out = args
+        .iter()
+        .position(|a| a == "--index-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_index.json".to_string());
 
     // Three regimes: a skewed R-MAT, many moderate overlapping cliques
     // (DBLP-like average structure, where the triangle-once Support kernel
@@ -160,4 +198,78 @@ fn main() {
     std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("serialize"))
         .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
+
+    // Index construction: every variant under both schedules, against one
+    // shared decomposition per graph so only SpNode/SpEdge/SmGraph differ.
+    let mut widths = Vec::new();
+    let mut index_rows = Vec::new();
+    for (name, g) in &graphs {
+        let d = et_truss::decompose_parallel(g);
+        let phi = PhiGroups::build(&d.trussness);
+        widths.push(WaveWidth {
+            graph: name.to_string(),
+            groups: phi.iter().count(),
+            max_trussness: d.max_trussness,
+        });
+        let mut reference = None;
+        for variant in Variant::ALL {
+            for schedule in Schedule::ALL {
+                let mut best: Option<KernelTimings> = None;
+                for rep in 0..reps {
+                    let mut t = KernelTimings::default();
+                    let idx =
+                        build_index_with_decomposition_scheduled(g, &d, variant, schedule, &mut t);
+                    if rep == 0 {
+                        // Cheap agreement tripwire across every combination.
+                        let c = idx.canonical();
+                        match &reference {
+                            None => reference = Some(c),
+                            Some(r) => assert_eq!(
+                                &c,
+                                r,
+                                "{name}: {} under {} disagrees",
+                                variant.name(),
+                                schedule.name()
+                            ),
+                        }
+                    }
+                    if best.is_none_or(|b| t.index_construction() < b.index_construction()) {
+                        best = Some(t);
+                    }
+                }
+                let t = best.expect("at least one rep");
+                let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                println!(
+                    "{name}: {} [{}] spnode {:.1}ms spedge {:.1}ms (index {:.1}ms)",
+                    variant.name(),
+                    schedule.name(),
+                    ms(t.spnode),
+                    ms(t.spedge),
+                    ms(t.index_construction()),
+                );
+                index_rows.push(IndexRow {
+                    graph: name.to_string(),
+                    variant: variant.name(),
+                    schedule: schedule.name(),
+                    spnode_ms: ms(t.spnode),
+                    spedge_ms: ms(t.spedge),
+                    index_construction_ms: ms(t.index_construction()),
+                });
+            }
+        }
+    }
+    let doc = IndexReport {
+        benchmark: "index construction smoke",
+        quick,
+        threads: rayon::current_num_threads(),
+        reps,
+        wave_widths: widths,
+        results: index_rows,
+    };
+    std::fs::write(
+        &index_out,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {index_out}: {e}"));
+    println!("wrote {index_out}");
 }

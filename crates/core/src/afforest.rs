@@ -1,11 +1,13 @@
 //! Afforest EquiTruss SpNode — sampling-based edge-entity CC (§3.3).
 //!
-//! Adapts Afforest (Sutton et al., reference [43]) to the edge-induced graph
-//! of one Φ_k group, on top of the C-Optimal data layout:
+//! The Afforest driver of the shared edge-CC engine with the
+//! [`crate::engine::CsrTriangleView`] resolution policy — adapting Afforest
+//! (Sutton et al., reference [43]) to the edge-induced graph of one Φ_k
+//! group, on top of the C-Optimal data layout:
 //!
 //! 1. **neighbor rounds** — each edge lock-free-links to its first `r`
-//!    same-trussness triangle partners; the enumeration *early-exits* after
-//!    `r` links, so this pass touches only a subgraph;
+//!    same-trussness triangle partners, so this pass touches only a
+//!    subgraph;
 //! 2. **sampling** — the most frequent component among a random sample of
 //!    Φ_k estimates the giant component;
 //! 3. **finish** — only edges outside the giant component enumerate their
@@ -15,13 +17,10 @@
 //! Afforest enumerates non-giant edges once and giant edges barely at all —
 //! the Fig. 5 speedup.
 
-use et_cc::{atomic_find, atomic_find_steps, atomic_link};
+use crate::engine::CsrTriangleView;
+use et_cc::engine::{afforest_edge_components, AfforestPolicy};
 use et_graph::{EdgeId, EdgeIndexedGraph};
-use et_triangle::{for_each_triangle_of_edge, for_each_truss_triangle_of_edge};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::AtomicU32;
 
 /// Tuning knobs of the edge-entity Afforest.
 #[derive(Clone, Copy, Debug)]
@@ -55,96 +54,18 @@ pub fn spnode_group_afforest(
     parent: &[AtomicU32],
     config: AfforestSpNodeConfig,
 ) {
-    if phi_k.is_empty() {
-        return;
-    }
-    let r = config.neighbor_rounds;
-
-    // Phase 1: link the first r same-k triangle partners of every edge.
-    phi_k.par_iter().for_each(|&e| {
-        let mut linked = 0usize;
-        for_each_truss_triangle_of_edge(graph, trussness, k, e, |_, e1, e2| {
-            if linked >= r {
-                return; // early exit: partner budget exhausted
-            }
-            for &ei in &[e1, e2] {
-                if linked < r && trussness[ei as usize] == k {
-                    atomic_link(parent, e, ei);
-                    linked += 1;
-                }
-            }
-        });
-    });
-    compress_group(parent, phi_k);
-
-    // Phase 2: estimate the giant component from a sample of Φ_k.
-    let giant = sample_giant(parent, phi_k, config.sample_size, config.seed ^ k as u64);
-
-    // Phase 3: finish edges outside the giant component with their full
-    // partner lists. (Triangles are enumerated unfiltered and the trussness
-    // test applied inline, exactly like the hooking loops.)
-    let tracing = et_obs::enabled();
-    let giant_skips = AtomicU64::new(0);
-    phi_k.par_iter().for_each(|&e| {
-        if atomic_find(parent, e) == giant {
-            if tracing {
-                giant_skips.fetch_add(1, Ordering::Relaxed);
-            }
-            return;
-        }
-        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
-            if trussness[e1 as usize] < k || trussness[e2 as usize] < k {
-                return;
-            }
-            for &ei in &[e1, e2] {
-                if trussness[ei as usize] == k {
-                    atomic_link(parent, e, ei);
-                }
-            }
-        });
-    });
-    et_obs::counter_add("afforest.giant_skips", giant_skips.into_inner());
-    compress_group(parent, phi_k);
-}
-
-/// Parallel path compression restricted to one Φ_k group.
-fn compress_group(parent: &[AtomicU32], phi_k: &[EdgeId]) {
-    if et_obs::enabled() {
-        let steps: u64 = phi_k
-            .par_iter()
-            .map(|&e| {
-                let (root, steps) = atomic_find_steps(parent, e);
-                parent[e as usize].store(root, Ordering::Relaxed);
-                steps
-            })
-            .sum();
-        et_obs::counter_add("dsu.compress_steps", steps);
-        et_obs::counter_add("dsu.compress_calls", 1);
-    } else {
-        phi_k.par_iter().for_each(|&e| {
-            let root = atomic_find(parent, e);
-            parent[e as usize].store(root, Ordering::Relaxed);
-        });
-    }
-}
-
-/// Most frequent root among `sample_size` random members of Φ_k.
-fn sample_giant(parent: &[AtomicU32], phi_k: &[EdgeId], sample_size: usize, seed: u64) -> u32 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-    for _ in 0..sample_size.max(1) {
-        let e = phi_k[rng.gen_range(0..phi_k.len())];
-        *counts.entry(atomic_find(parent, e)).or_default() += 1;
-    }
-    let (root, hits) = counts
-        .into_iter()
-        .max_by_key(|&(root, c)| (c, std::cmp::Reverse(root)))
-        .expect("sample is non-empty");
-    // Sampling hit-rate: how concentrated the intermediate components are —
-    // high hits/size means phase 3 will skip almost everything.
-    et_obs::counter_add("afforest.sample_hits", hits as u64);
-    et_obs::counter_add("afforest.sample_size", sample_size.max(1) as u64);
-    root
+    let view = CsrTriangleView::new(graph, trussness, k);
+    afforest_edge_components(
+        &view,
+        phi_k,
+        parent,
+        AfforestPolicy {
+            neighbor_rounds: config.neighbor_rounds,
+            sample_size: config.sample_size,
+            // Per-group seed so every Φ_k samples independently.
+            seed: config.seed ^ k as u64,
+        },
+    );
 }
 
 #[cfg(test)]

@@ -1,20 +1,24 @@
 //! Baseline EquiTruss SpNode — Shiloach–Vishkin over edge entities
 //! (Algorithm 2 of the paper), with dictionary-based edge lookups.
 //!
-//! This is the paper's first parallel design. Its two deliberately-kept
-//! inefficiencies (both removed by the C-Optimal variant, §3.3):
+//! This is the paper's first parallel design, expressed as a *policy* over
+//! the shared edge-CC engine ([`et_cc::engine`]): the SV driver with the
+//! [`crate::engine::DictTriangleView`] resolution policy. Its two
+//! deliberately-kept inefficiencies (both removed by the C-Optimal variant,
+//! §3.3):
 //!
 //! 1. trussness and edge-id lookups go through a *global edge dictionary* —
 //!    a binary search over all m packed edges per lookup, the Rust-safe
 //!    analog of the original's hashmap over the entire edge set;
 //! 2. every hooking round re-enumerates the common-neighbor lists, and no
-//!    Π-equality skip is applied before the root check.
+//!    Π-equality skip is applied before the root check
+//!    (`SvPolicy { skip_equal: false }`).
 
+use crate::engine::DictTriangleView;
+use et_cc::engine::{sv_edge_components, SvPolicy};
 use et_graph::packed::pack_edge;
 use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
-use et_triangle::intersect::merge_intersect_into;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::AtomicU32;
 
 /// The Baseline's "dictionary of edges": packed `(u, v)` keys in edge-id
 /// order (lexicographic, hence sorted), searched with binary search. The
@@ -67,60 +71,8 @@ pub fn spnode_group_baseline(
     phi_k: &[EdgeId],
     parent: &[AtomicU32],
 ) {
-    let hooking = AtomicBool::new(true);
-    let tracing = et_obs::enabled();
-    let mut rounds = 0u64;
-    let grafts = AtomicU64::new(0);
-    while hooking.swap(false, Ordering::Relaxed) {
-        rounds += 1;
-        // Hooking phase (Algorithm 2 ln. 10–20).
-        phi_k.par_iter().for_each_init(Vec::new, |ws, &e| {
-            let (u, v) = graph.endpoints(e);
-            // "Compute a list of all common neighbors W" (ln. 11): the
-            // Baseline intersects raw neighbor lists, then resolves each
-            // triangle edge through the dictionary.
-            ws.clear();
-            merge_intersect_into(graph.neighbors(u), graph.neighbors(v), ws);
-            let pe = parent[e as usize].load(Ordering::Relaxed);
-            for &w in ws.iter() {
-                let e1 = dict.lookup(u, w).expect("triangle edge must exist");
-                let e2 = dict.lookup(v, w).expect("triangle edge must exist");
-                let (k1, k2) = (trussness[e1 as usize], trussness[e2 as usize]);
-                if k1 < k || k2 < k {
-                    continue; // triangle not inside the k-truss
-                }
-                for &(ei, ki) in &[(e1, k1), (e2, k2)] {
-                    if ki != k {
-                        continue;
-                    }
-                    // SV conditional hook (ln. 15–20): Π(e) < Π(e_i) and
-                    // Π(e_i) is a root. Benign race as in the paper.
-                    let pi = parent[ei as usize].load(Ordering::Relaxed);
-                    if pe < pi && parent[pi as usize].load(Ordering::Relaxed) == pi {
-                        parent[pi as usize].store(pe, Ordering::Relaxed);
-                        hooking.store(true, Ordering::Relaxed);
-                        if tracing {
-                            grafts.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
-        });
-
-        // Shortcut phase (ln. 21–23): pointer jumping.
-        phi_k.par_iter().for_each(|&e| {
-            let i = e as usize;
-            let mut p = parent[i].load(Ordering::Relaxed);
-            let mut gp = parent[p as usize].load(Ordering::Relaxed);
-            while p != gp {
-                parent[i].store(gp, Ordering::Relaxed);
-                p = gp;
-                gp = parent[p as usize].load(Ordering::Relaxed);
-            }
-        });
-    }
-    et_obs::counter_add("sv.hook_iterations", rounds);
-    et_obs::counter_add("sv.grafts", grafts.into_inner());
+    let view = DictTriangleView::new(graph, dict, trussness, k);
+    sv_edge_components(&view, phi_k, parent, SvPolicy { skip_equal: false });
 }
 
 #[cfg(test)]
@@ -128,6 +80,7 @@ mod tests {
     use super::*;
     use et_gen::fixtures;
     use et_truss::decompose_serial;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn dict_lookups() {

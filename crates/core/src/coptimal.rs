@@ -1,19 +1,22 @@
 //! C-Optimal EquiTruss SpNode — the cache/computation-optimized SV (§3.3).
 //!
-//! Differences from the Baseline, exactly as the paper describes:
+//! The SV driver of the shared edge-CC engine with the
+//! [`crate::engine::CsrTriangleView`] resolution policy. Differences from
+//! the Baseline, exactly as the paper describes:
 //!
 //! * GAP-style CSR storage: trussness of a triangle edge is found via the
 //!   per-arc edge-id array riding along the neighborhood merge — "the search
 //!   space is reduced to only the neighborhood list" — instead of a global
 //!   dictionary probe;
 //! * Π lives in a contiguous buffer indexed by edge id (no keyed lookups);
-//! * the skip rule: if Π(e) = Π(e₁) the pair is already merged and all
-//!   further processing for that candidate is skipped before any root check.
+//! * the skip rule (`SvPolicy { skip_equal: true }`): if Π(e) = Π(e₁) the
+//!   pair is already merged and all further processing for that candidate
+//!   is skipped before any root check.
 
+use crate::engine::CsrTriangleView;
+use et_cc::engine::{sv_edge_components, SvPolicy};
 use et_graph::{EdgeId, EdgeIndexedGraph};
-use et_triangle::for_each_truss_triangle_of_edge;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::AtomicU32;
 
 /// Runs C-Optimal SV hooking/shortcut rounds for one Φ_k group.
 pub fn spnode_group_coptimal(
@@ -23,64 +26,8 @@ pub fn spnode_group_coptimal(
     phi_k: &[EdgeId],
     parent: &[AtomicU32],
 ) {
-    let hooking = AtomicBool::new(true);
-    let tracing = et_obs::enabled();
-    let mut rounds = 0u64;
-    let grafts = AtomicU64::new(0);
-    while hooking.swap(false, Ordering::Relaxed) {
-        rounds += 1;
-        // Hooking phase: triangle enumeration fused with the trussness
-        // filter; edge ids come from the CSR arc-eid array for free.
-        phi_k.par_iter().for_each(|&e| {
-            let pe = parent[e as usize].load(Ordering::Relaxed);
-            for_each_truss_triangle_of_edge(graph, trussness, k, e, |_, e1, e2| {
-                for &ei in &[e1, e2] {
-                    if trussness[ei as usize] != k {
-                        continue;
-                    }
-                    let pi = parent[ei as usize].load(Ordering::Relaxed);
-                    if pe == pi {
-                        continue; // C-Optimal skip: already same component
-                    }
-                    if pe < pi && parent[pi as usize].load(Ordering::Relaxed) == pi {
-                        parent[pi as usize].store(pe, Ordering::Relaxed);
-                        hooking.store(true, Ordering::Relaxed);
-                        if tracing {
-                            grafts.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            });
-        });
-
-        // Shortcut phase.
-        if tracing {
-            let steps: u64 = phi_k.par_iter().map(|&e| shortcut(parent, e)).sum();
-            et_obs::counter_add("sv.shortcut_steps", steps);
-        } else {
-            phi_k.par_iter().for_each(|&e| {
-                shortcut(parent, e);
-            });
-        }
-    }
-    et_obs::counter_add("sv.hook_iterations", rounds);
-    et_obs::counter_add("sv.grafts", grafts.into_inner());
-}
-
-/// Pointer-jumps edge `e` onto its root; returns the number of jumps.
-#[inline]
-fn shortcut(parent: &[AtomicU32], e: EdgeId) -> u64 {
-    let i = e as usize;
-    let mut steps = 0u64;
-    let mut p = parent[i].load(Ordering::Relaxed);
-    let mut gp = parent[p as usize].load(Ordering::Relaxed);
-    while p != gp {
-        parent[i].store(gp, Ordering::Relaxed);
-        p = gp;
-        gp = parent[p as usize].load(Ordering::Relaxed);
-        steps += 1;
-    }
-    steps
+    let view = CsrTriangleView::new(graph, trussness, k);
+    sv_edge_components(&view, phi_k, parent, SvPolicy { skip_equal: true });
 }
 
 #[cfg(test)]

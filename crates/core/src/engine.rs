@@ -1,0 +1,201 @@
+//! [`TriangleAdjacency`] views over [`EdgeIndexedGraph`] — the per-variant
+//! *edge-id resolution policies* of the shared edge-CC engine.
+//!
+//! The engine itself (SV hooking/shortcut, Afforest link/sample/finish)
+//! lives in [`et_cc::engine`]; this module supplies the two ways the paper's
+//! variants find "the other two edges of a triangle through e":
+//!
+//! * [`DictTriangleView`] — the Baseline's **global edge dictionary**: raw
+//!   neighbor-list intersection, then one binary search over all m edges per
+//!   triangle edge (the deliberately kept inefficiency of Algorithm 2);
+//! * [`CsrTriangleView`] — C-Optimal's **per-arc CSR edge-id arrays**: ids
+//!   ride along the neighborhood merge for free, reducing the search space
+//!   to the adjacency list (§3.3). Afforest shares this layout.
+//!
+//! [`spnode_group`] is the variant dispatcher the pipeline schedules — under
+//! either the sequential per-k loop or the wave scheduler.
+
+use crate::baseline::EdgeDict;
+use crate::pipeline::Variant;
+use et_cc::engine::TriangleAdjacency;
+use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
+use et_triangle::for_each_truss_triangle_of_edge;
+use et_triangle::intersect::merge_intersect_into;
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU32;
+
+/// Baseline edge-id resolution: intersect the raw neighbor lists of `e`'s
+/// endpoints, then resolve each triangle edge with a global dictionary
+/// binary search, filtering to the maximal k-truss afterwards.
+pub struct DictTriangleView<'a> {
+    graph: &'a EdgeIndexedGraph,
+    dict: &'a EdgeDict,
+    trussness: &'a [u32],
+    k: u32,
+}
+
+impl<'a> DictTriangleView<'a> {
+    /// A view of the Φ_k edge-induced graph through `dict`.
+    pub fn new(
+        graph: &'a EdgeIndexedGraph,
+        dict: &'a EdgeDict,
+        trussness: &'a [u32],
+        k: u32,
+    ) -> Self {
+        DictTriangleView {
+            graph,
+            dict,
+            trussness,
+            k,
+        }
+    }
+}
+
+thread_local! {
+    /// Common-neighbor scratch, reused across edges on each worker thread
+    /// (the `W` list of Algorithm 2 ln. 11).
+    static COMMON: RefCell<Vec<VertexId>> = const { RefCell::new(Vec::new()) };
+}
+
+impl TriangleAdjacency for DictTriangleView<'_> {
+    fn for_each_partner<F: FnMut(u32)>(&self, e: u32, mut f: F) {
+        let (u, v) = self.graph.endpoints(e);
+        COMMON.with(|cell| {
+            let ws = &mut *cell.borrow_mut();
+            ws.clear();
+            merge_intersect_into(self.graph.neighbors(u), self.graph.neighbors(v), ws);
+            for &w in ws.iter() {
+                let e1 = self.dict.lookup(u, w).expect("triangle edge must exist");
+                let e2 = self.dict.lookup(v, w).expect("triangle edge must exist");
+                let (k1, k2) = (self.trussness[e1 as usize], self.trussness[e2 as usize]);
+                if k1 < self.k || k2 < self.k {
+                    continue; // triangle not inside the k-truss
+                }
+                if k1 == self.k {
+                    f(e1);
+                }
+                if k2 == self.k {
+                    f(e2);
+                }
+            }
+        });
+    }
+}
+
+/// C-Optimal edge-id resolution: the trussness-filtered triangle enumeration
+/// whose edge ids come from the per-arc CSR arrays in lockstep with the
+/// neighborhood merge.
+pub struct CsrTriangleView<'a> {
+    graph: &'a EdgeIndexedGraph,
+    trussness: &'a [u32],
+    k: u32,
+}
+
+impl<'a> CsrTriangleView<'a> {
+    /// A view of the Φ_k edge-induced graph over the CSR arc-eid arrays.
+    pub fn new(graph: &'a EdgeIndexedGraph, trussness: &'a [u32], k: u32) -> Self {
+        CsrTriangleView {
+            graph,
+            trussness,
+            k,
+        }
+    }
+}
+
+impl TriangleAdjacency for CsrTriangleView<'_> {
+    fn for_each_partner<F: FnMut(u32)>(&self, e: u32, mut f: F) {
+        for_each_truss_triangle_of_edge(self.graph, self.trussness, self.k, e, |_, e1, e2| {
+            if self.trussness[e1 as usize] == self.k {
+                f(e1);
+            }
+            if self.trussness[e2 as usize] == self.k {
+                f(e2);
+            }
+        });
+    }
+}
+
+/// Runs supernode construction for one Φ_k group with the chosen variant's
+/// policies (`dict` must be `Some` for [`Variant::Baseline`]).
+pub fn spnode_group(
+    graph: &EdgeIndexedGraph,
+    dict: Option<&EdgeDict>,
+    trussness: &[u32],
+    k: u32,
+    phi_k: &[EdgeId],
+    parent: &[AtomicU32],
+    variant: Variant,
+) {
+    match variant {
+        Variant::Baseline => {
+            let dict = dict.expect("dictionary built for Baseline");
+            crate::baseline::spnode_group_baseline(graph, dict, trussness, k, phi_k, parent);
+        }
+        Variant::COptimal => {
+            crate::coptimal::spnode_group_coptimal(graph, trussness, k, phi_k, parent);
+        }
+        Variant::Afforest => crate::afforest::spnode_group_afforest(
+            graph,
+            trussness,
+            k,
+            phi_k,
+            parent,
+            crate::afforest::AfforestSpNodeConfig::default(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_truss::decompose_serial;
+    use std::sync::atomic::Ordering;
+
+    /// Both views must yield identical partner multisets (in the same
+    /// order) for every edge — the resolution policy changes *cost*, never
+    /// the enumerated k-triangle adjacency.
+    #[test]
+    fn dict_and_csr_views_enumerate_identically() {
+        for f in et_gen::fixtures::all_fixtures() {
+            let eg = EdgeIndexedGraph::new(f.graph.clone());
+            let tau = decompose_serial(&eg).trussness;
+            let dict = EdgeDict::build(&eg);
+            let kmax = tau.iter().copied().max().unwrap_or(0);
+            for k in 3..=kmax {
+                let dv = DictTriangleView::new(&eg, &dict, &tau, k);
+                let cv = CsrTriangleView::new(&eg, &tau, k);
+                for e in 0..eg.num_edges() as u32 {
+                    if tau[e as usize] != k {
+                        continue;
+                    }
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    dv.for_each_partner(e, |p| a.push(p));
+                    cv.for_each_partner(e, |p| b.push(p));
+                    assert_eq!(a, b, "{}: k={k} e={e}", f.name);
+                }
+            }
+        }
+    }
+
+    /// The dispatcher and the per-variant entry points agree.
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let eg = EdgeIndexedGraph::new(et_gen::overlapping_cliques(120, 25, (3, 6), 50, 3));
+        let tau = decompose_serial(&eg).trussness;
+        let dict = EdgeDict::build(&eg);
+        let phi = crate::phi::PhiGroups::build(&tau);
+        for variant in Variant::ALL {
+            let m = eg.num_edges() as u32;
+            let a: Vec<AtomicU32> = (0..m).map(AtomicU32::new).collect();
+            let b: Vec<AtomicU32> = (0..m).map(AtomicU32::new).collect();
+            for (k, group) in phi.iter() {
+                spnode_group(&eg, Some(&dict), &tau, k, group, &a, variant);
+                spnode_group(&eg, Some(&dict), &tau, k, group, &b, variant);
+            }
+            let la: Vec<u32> = a.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+            let lb: Vec<u32> = b.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+            assert!(et_cc::same_partition(&la, &lb), "{}", variant.name());
+        }
+    }
+}

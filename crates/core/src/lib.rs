@@ -16,6 +16,12 @@
 //! | C-Optimal EquiTruss   | [`pipeline::Variant::COptimal`] — CSR-aligned trussness, contiguous Π, skip rule (§3.3) |
 //! | Afforest EquiTruss    | [`pipeline::Variant::Afforest`] — sampling CC on the edge graph (§3.3) |
 //!
+//! The three parallel variants are *policies* over one shared edge-CC
+//! engine ([`et_cc::engine`]): [`engine`] supplies the per-variant edge-id
+//! resolution views ([`engine::DictTriangleView`], [`engine::CsrTriangleView`])
+//! and the [`engine::spnode_group`] dispatcher, which the pipeline schedules
+//! either per-k or as parallel waves ([`pipeline::Schedule`]).
+//!
 //! All four produce canonically identical indexes (the paper reports 100%
 //! accuracy agreement); [`validate`] checks this plus the definitional
 //! invariants, and [`pipeline::build_index`] instruments the kernel timings
@@ -26,6 +32,7 @@
 pub mod afforest;
 pub mod baseline;
 pub mod coptimal;
+pub mod engine;
 pub mod index;
 pub mod io;
 pub mod original;
@@ -42,8 +49,9 @@ pub use index::{SuperGraph, NO_SUPERNODE};
 pub use original::build_original;
 pub use phi::PhiGroups;
 pub use pipeline::{
-    build_index, build_index_with_decomposition, build_index_with_kernel, IndexBuild,
-    SupportKernel, Variant,
+    build_index, build_index_with_decomposition, build_index_with_decomposition_scheduled,
+    build_index_with_kernel, build_index_with_options, IndexBuild, Schedule, SupportKernel,
+    Variant,
 };
 pub use stats::IndexStats;
 pub use timings::KernelTimings;

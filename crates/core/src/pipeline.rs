@@ -1,20 +1,31 @@
 //! End-to-end parallel EquiTruss pipelines with kernel timing.
 //!
-//! Orchestrates the paper's kernels in order — Support, TrussDecomp, Init,
-//! then per ascending k: SpNode + SpEdge (Algorithms 2 and 3 "invoked
-//! consecutively upon the same Φ_k set"), then SmGraph (Algorithm 4) and
-//! SpNodeRemap — recording per-kernel wall time for the Fig. 4/8 breakdowns.
+//! Orchestrates the paper's kernels — Support, TrussDecomp, Init, SpNode,
+//! SpEdge, SmGraph, SpNodeRemap — recording per-kernel wall time for the
+//! Fig. 4/8 breakdowns. The SpNode/SpEdge phase runs under a selectable
+//! [`Schedule`]:
+//!
+//! * [`Schedule::PerK`] — the paper's loop: per ascending k, SpNode then
+//!   SpEdge "invoked consecutively upon the same Φ_k set";
+//! * [`Schedule::Wave`] (default) — two parallel waves: every Φ_k SpNode
+//!   group dispatched concurrently, one barrier, then every SpEdge group
+//!   concurrently. Sound because Φ_k groups are mutually independent for
+//!   SpNode (hooking only links same-k edges, and Π values in Φ_k cells
+//!   never leave Φ_k), while SpEdge only *reads* Π roots of edges with
+//!   trussness ≤ k — all finalized at the barrier. The wave keeps the rayon
+//!   pool saturated across the many tiny high-k groups that starve the
+//!   per-k loop.
 
-use crate::afforest::{spnode_group_afforest, AfforestSpNodeConfig};
-use crate::baseline::{spnode_group_baseline, EdgeDict};
-use crate::coptimal::spnode_group_coptimal;
+use crate::baseline::EdgeDict;
+use crate::engine::spnode_group;
 use crate::index::SuperGraph;
 use crate::phi::PhiGroups;
 use crate::smgraph::merge_supergraph;
 use crate::spedge::{spedge_group, RootPair};
 use crate::timings::{timed_span, timed_span_k, KernelTimings};
-use et_graph::EdgeIndexedGraph;
+use et_graph::{EdgeId, EdgeIndexedGraph};
 use et_truss::TrussDecomposition;
+use rayon::prelude::*;
 use std::sync::atomic::AtomicU32;
 
 /// Which parallel construction to run (Table 2 of the paper).
@@ -78,6 +89,33 @@ impl SupportKernel {
     }
 }
 
+/// How the per-Φ_k SpNode/SpEdge kernels are scheduled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// The paper's serial outer loop: for ascending k, SpNode(Φ_k) then
+    /// SpEdge(Φ_k). Parallelism exists only *inside* a group, so tiny
+    /// high-k groups leave most of the pool idle.
+    PerK,
+    /// Two parallel waves over all groups with one barrier between them.
+    /// Produces the identical index (groups are independent; SpEdge reads
+    /// only finalized Π roots) while exposing cross-group parallelism.
+    #[default]
+    Wave,
+}
+
+impl Schedule {
+    /// Both schedules, wave (the default) first.
+    pub const ALL: [Schedule; 2] = [Schedule::Wave, Schedule::PerK];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::PerK => "per-k",
+            Schedule::Wave => "wave",
+        }
+    }
+}
+
 /// A constructed index plus its kernel timings.
 #[derive(Clone, Debug)]
 pub struct IndexBuild {
@@ -94,11 +132,23 @@ pub fn build_index(graph: &EdgeIndexedGraph, variant: Variant) -> IndexBuild {
     build_index_with_kernel(graph, variant, SupportKernel::default())
 }
 
-/// Full pipeline with an explicit Support kernel choice.
+/// Full pipeline with an explicit Support kernel choice, under the default
+/// (wave) schedule.
 pub fn build_index_with_kernel(
     graph: &EdgeIndexedGraph,
     variant: Variant,
     kernel: SupportKernel,
+) -> IndexBuild {
+    build_index_with_options(graph, variant, kernel, Schedule::default())
+}
+
+/// Full pipeline with every knob explicit: Support kernel and SpNode/SpEdge
+/// schedule.
+pub fn build_index_with_options(
+    graph: &EdgeIndexedGraph,
+    variant: Variant,
+    kernel: SupportKernel,
+    schedule: Schedule,
 ) -> IndexBuild {
     let _build_span = et_obs::span(format!("BuildIndex({})", variant.name()));
     let mut timings = KernelTimings::default();
@@ -106,16 +156,40 @@ pub fn build_index_with_kernel(
     let decomposition = timed_span(&mut timings.truss_decomp, "TrussDecomp", || {
         et_truss::parallel::decompose_parallel_with_support(graph, support)
     });
-    let index = build_index_with_decomposition(graph, &decomposition, variant, &mut timings);
+    let index = build_index_with_decomposition_scheduled(
+        graph,
+        &decomposition,
+        variant,
+        schedule,
+        &mut timings,
+    );
     IndexBuild { index, timings }
 }
 
-/// Index construction given a precomputed trussness dictionary; kernel times
-/// are *added* to `timings` (Support/TrussDecomp slots untouched).
+/// Index construction given a precomputed trussness dictionary, under the
+/// default (wave) schedule; kernel times are *added* to `timings`
+/// (Support/TrussDecomp slots untouched).
 pub fn build_index_with_decomposition(
     graph: &EdgeIndexedGraph,
     decomposition: &TrussDecomposition,
     variant: Variant,
+    timings: &mut KernelTimings,
+) -> SuperGraph {
+    build_index_with_decomposition_scheduled(
+        graph,
+        decomposition,
+        variant,
+        Schedule::default(),
+        timings,
+    )
+}
+
+/// [`build_index_with_decomposition`] with an explicit [`Schedule`].
+pub fn build_index_with_decomposition_scheduled(
+    graph: &EdgeIndexedGraph,
+    decomposition: &TrussDecomposition,
+    variant: Variant,
+    schedule: Schedule,
     timings: &mut KernelTimings,
 ) -> SuperGraph {
     let m = graph.num_edges();
@@ -139,28 +213,57 @@ pub fn build_index_with_decomposition(
         }
     }
 
-    // Per-k: SpNode then SpEdge on the same Φ_k.
-    let mut subsets: Vec<Vec<RootPair>> = Vec::new();
-    for (k, group) in phi.iter() {
-        timed_span_k(&mut timings.spnode, "SpNode", k, || match variant {
-            Variant::Baseline => {
-                let dict = dict.as_ref().expect("dictionary built for Baseline");
-                spnode_group_baseline(graph, dict, tau, k, group, &parent);
+    let subsets: Vec<Vec<RootPair>> = match schedule {
+        Schedule::PerK => {
+            // The paper's loop: per ascending k, SpNode then SpEdge on the
+            // same Φ_k.
+            let mut subsets = Vec::new();
+            for (k, group) in phi.iter() {
+                timed_span_k(&mut timings.spnode, "SpNode", k, || {
+                    spnode_group(graph, dict.as_ref(), tau, k, group, &parent, variant);
+                });
+                timed_span_k(&mut timings.spedge, "SpEdge", k, || {
+                    spedge_group(graph, tau, k, group, &parent, &mut subsets);
+                });
             }
-            Variant::COptimal => spnode_group_coptimal(graph, tau, k, group, &parent),
-            Variant::Afforest => spnode_group_afforest(
-                graph,
-                tau,
-                k,
-                group,
-                &parent,
-                AfforestSpNodeConfig::default(),
-            ),
-        });
-        timed_span_k(&mut timings.spedge, "SpEdge", k, || {
-            spedge_group(graph, tau, k, group, &parent, &mut subsets);
-        });
-    }
+            subsets
+        }
+        Schedule::Wave => {
+            let groups: Vec<(u32, &[EdgeId])> = phi.iter().collect();
+            et_obs::counter_add("engine.wave_width", groups.len() as u64);
+
+            // Wave 1: every SpNode group concurrently. Groups are mutually
+            // independent — hooking only links same-k edges and Π entries of
+            // Φ_k cells never reference other groups — so the nested
+            // par_iters just feed one work-stealing pool.
+            timed_span(&mut timings.spnode, "SpNodeWave", || {
+                groups.par_iter().for_each(|&(k, group)| {
+                    let _span = et_obs::span("SpNode").arg("k", u64::from(k));
+                    spnode_group(graph, dict.as_ref(), tau, k, group, &parent, variant);
+                });
+            });
+
+            // Barrier: the par_iter above completes only when every group's
+            // Π is finalized (roots fully shortcut/compressed).
+
+            // Wave 2: every SpEdge group concurrently. SpEdge only *reads*
+            // Π roots of edges with trussness ≤ k, all finalized by wave 1.
+            // Per-k subset lists are collected in k order so the SmGraph
+            // input stays deterministic.
+            timed_span(&mut timings.spedge, "SpEdgeWave", || {
+                let per_k: Vec<Vec<Vec<RootPair>>> = groups
+                    .par_iter()
+                    .map(|&(k, group)| {
+                        let _span = et_obs::span("SpEdge").arg("k", u64::from(k));
+                        let mut subsets = Vec::new();
+                        spedge_group(graph, tau, k, group, &parent, &mut subsets);
+                        subsets
+                    })
+                    .collect();
+                per_k.into_iter().flatten().collect()
+            })
+        }
+    };
 
     // SmGraph merge (Algorithm 4). Partition count is clamped to the number
     // of non-empty subsets so tiny graphs don't spawn empty merge partitions.
@@ -218,6 +321,28 @@ mod tests {
             et_gen::overlapping_cliques(250, 50, (3, 8), 120, 11),
             "collab",
         );
+    }
+
+    #[test]
+    fn schedules_build_identical_indexes() {
+        let eg = EdgeIndexedGraph::new(et_gen::overlapping_cliques(200, 40, (3, 7), 80, 5));
+        let tau = decompose_serial(&eg);
+        let reference = build_original(&eg, &tau.trussness).canonical();
+        for variant in Variant::ALL {
+            for schedule in Schedule::ALL {
+                let mut t = KernelTimings::default();
+                let idx =
+                    build_index_with_decomposition_scheduled(&eg, &tau, variant, schedule, &mut t);
+                idx.check_structure(&eg).unwrap();
+                assert_eq!(
+                    idx.canonical(),
+                    reference,
+                    "{} under {} schedule",
+                    variant.name(),
+                    schedule.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,9 +21,10 @@ pub type RootPair = (u32, u32);
 /// Runs Algorithm 3 for one Φ_k group, appending each job's thread-local
 /// subset of superedge candidates to `subsets`.
 ///
-/// Must run after SpNode has finalized Π for every trussness ≤ k (ascending
-/// k order guarantees this, as in the paper where Algorithms 2 and 3 are
-/// invoked consecutively on the same Φ_k).
+/// Must run after SpNode has finalized Π for every trussness ≤ k — either
+/// because the per-k schedule just finished Φ_k (the paper's "invoked
+/// consecutively upon the same Φ_k"), or because the SpNode wave barrier
+/// finalized *every* group.
 pub fn spedge_group(
     graph: &EdgeIndexedGraph,
     trussness: &[u32],
@@ -32,37 +33,81 @@ pub fn spedge_group(
     parent: &[AtomicU32],
     subsets: &mut Vec<Vec<RootPair>>,
 ) {
+    spedge_group_with(
+        &|e, f: &mut dyn FnMut(EdgeId, EdgeId)| {
+            for_each_triangle_of_edge(graph, e, |_, e1, e2| f(e1, e2));
+        },
+        trussness,
+        k,
+        phi_k,
+        parent,
+        subsets,
+    );
+}
+
+/// [`spedge_group`] over an arbitrary triangle source: `triangles(e, f)`
+/// must invoke `f(e1, e2)` once per triangle through `e`. This is the form
+/// shared with the dynamic index, whose triangles come from hash-set
+/// adjacency instead of CSR.
+pub fn spedge_group_with<T>(
+    triangles: &T,
+    trussness: &[u32],
+    k: u32,
+    phi_k: &[EdgeId],
+    parent: &[AtomicU32],
+    subsets: &mut Vec<Vec<RootPair>>,
+) where
+    T: Fn(EdgeId, &mut dyn FnMut(EdgeId, EdgeId)) + Sync,
+{
+    // Seed each job's buffer from the group size: a Φ_k split across the
+    // pool yields roughly |Φ_k|/threads edges per job, and superedge
+    // candidates are rare (≲1 per edge on real graphs), so this one reserve
+    // absorbs the common case without growth doublings.
+    let threads = rayon::current_num_threads().max(1);
+    let reserve = phi_k.len() / threads + 1;
     let new_subsets: Vec<Vec<RootPair>> = phi_k
         .par_iter()
-        .fold(Vec::new, |mut acc: Vec<RootPair>, &e| {
-            let pe = parent[e as usize].load(Ordering::Relaxed);
-            for_each_triangle_of_edge(graph, e, |_, e1, e2| {
-                let (k1, k2) = (trussness[e1 as usize], trussness[e2 as usize]);
-                let lowest = k.min(k1).min(k2);
-                if lowest < 3 {
-                    return; // unindexed edge in the triangle — no superedge
-                }
-                // "Create superedge downward, k > k1" (ln. 9–10).
-                if k > lowest && lowest == k1 {
-                    acc.push((parent[e1 as usize].load(Ordering::Relaxed), pe));
-                }
-                // "Create superedge downward, k > k2" (ln. 11–12).
-                if k > lowest && lowest == k2 {
-                    acc.push((parent[e2 as usize].load(Ordering::Relaxed), pe));
-                }
-            });
-            acc
-        })
+        .fold(
+            || Vec::with_capacity(reserve),
+            |mut acc: Vec<RootPair>, &e| {
+                let pe = parent[e as usize].load(Ordering::Relaxed);
+                triangles(e, &mut |e1, e2| {
+                    let (k1, k2) = (trussness[e1 as usize], trussness[e2 as usize]);
+                    let lowest = k.min(k1).min(k2);
+                    if lowest < 3 {
+                        return; // unindexed edge in the triangle — no superedge
+                    }
+                    // "Create superedge downward, k > k1" (ln. 9–10).
+                    if k > lowest && lowest == k1 {
+                        acc.push((parent[e1 as usize].load(Ordering::Relaxed), pe));
+                    }
+                    // "Create superedge downward, k > k2" (ln. 11–12).
+                    if k > lowest && lowest == k2 {
+                        acc.push((parent[e2 as usize].load(Ordering::Relaxed), pe));
+                    }
+                });
+                acc
+            },
+        )
         .collect();
     if et_obs::enabled() {
         // Per-job buffer sizes reveal load skew across the thread-local
         // subsets (the sp_edges[tid] of the paper).
         let mut total = 0u64;
+        let mut max_len = 0u64;
+        let mut jobs = 0u64;
         for s in new_subsets.iter().filter(|s| !s.is_empty()) {
-            et_obs::record_value("spedge.buffer_len", s.len() as u64);
-            total += s.len() as u64;
+            let len = s.len() as u64;
+            et_obs::record_value("spedge.buffer_len", len);
+            total += len;
+            max_len = max_len.max(len);
+            jobs += 1;
         }
         et_obs::counter_add("spedge.candidates", total);
+        if jobs > 0 && total > 0 {
+            // Skew = max subset length over the mean, ×100 (100 = balanced).
+            et_obs::record_value("spedge.subset_skew", max_len * 100 * jobs / total);
+        }
     }
     subsets.extend(new_subsets.into_iter().filter(|s| !s.is_empty()));
 }

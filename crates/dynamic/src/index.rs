@@ -1,15 +1,16 @@
 //! Incrementally-maintained EquiTruss index over a [`DynamicGraph`].
 
 use crate::DynamicGraph;
+use et_cc::engine::{sv_edge_components, SvPolicy, TriangleAdjacency};
 use et_core::phi::PhiGroups;
 use et_core::remap::remap_and_assemble;
 use et_core::smgraph::merge_supergraph;
-use et_core::spedge::RootPair;
+use et_core::spedge::{spedge_group_with, RootPair};
 use et_core::SuperGraph;
 use et_graph::EdgeId;
 use rayon::prelude::*;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// What one update did — lets callers (and tests) observe the reuse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -154,96 +155,81 @@ impl DynamicIndex {
         }
     }
 
-    /// Re-runs SpNode for the affected levels only, then SpEdge / SmGraph /
-    /// SpNodeRemap over everything (cheap relative to SpNode, Fig. 4).
+    /// Re-runs SpNode for the affected levels only — dispatched as one
+    /// parallel wave, like the static pipeline's wave schedule — then
+    /// SpEdge / SmGraph / SpNodeRemap over everything (cheap relative to
+    /// SpNode, Fig. 4).
     fn rebuild(&mut self, affected: &BTreeSet<u32>) {
         let phi = PhiGroups::build(&self.trussness);
-        for (k, group) in phi.iter() {
-            if !affected.contains(&k) {
-                continue;
-            }
-            // Reset Π for the group, then SV hooking/shortcut (C-Optimal
-            // style) over the dynamic adjacency.
+
+        // Reset Π for every affected group, then run their SpNode kernels
+        // concurrently: Φ_k groups are mutually independent (hooking only
+        // links same-k edges), so one wave suffices.
+        let groups: Vec<(u32, &[EdgeId])> =
+            phi.iter().filter(|(k, _)| affected.contains(k)).collect();
+        for &(_, group) in &groups {
             for &e in group {
                 self.parent[e as usize].store(e, Ordering::Relaxed);
             }
-            self.spnode_group(k, group);
         }
+        let parent = &self.parent;
+        let tau = &self.trussness;
+        let graph = &self.graph;
+        groups.par_iter().for_each(|&(k, group)| {
+            let view = DynTriangleView {
+                graph,
+                trussness: tau,
+                k,
+            };
+            // C-Optimal policies: Π-equality skip, SV hooking/shortcut.
+            sv_edge_components(&view, group, parent, SvPolicy { skip_equal: true });
+        });
 
-        // Superedges from scratch (they reference Π roots of many levels).
+        // Superedges from scratch (they reference Π roots of many levels),
+        // through the shared Algorithm 3 kernel over dynamic adjacency.
         let mut subsets: Vec<Vec<RootPair>> = Vec::new();
         for (k, group) in phi.iter() {
-            self.spedge_group(k, group, &mut subsets);
+            spedge_group_with(
+                &|e, f: &mut dyn FnMut(EdgeId, EdgeId)| {
+                    graph.for_each_triangle_of_edge(e, |_, e1, e2| f(e1, e2));
+                },
+                tau,
+                k,
+                group,
+                parent,
+                &mut subsets,
+            );
         }
         let partitions = rayon::current_num_threads().min(subsets.len()).max(1);
         let merged = merge_supergraph(&subsets, partitions);
         self.index = remap_and_assemble(self.graph.edge_capacity(), &self.parent, &merged, &phi);
     }
+}
 
-    fn spnode_group(&self, k: u32, group: &[EdgeId]) {
-        let parent = &self.parent;
-        let tau = &self.trussness;
-        let graph = &self.graph;
-        let hooking = AtomicBool::new(true);
-        while hooking.swap(false, Ordering::Relaxed) {
-            group.par_iter().for_each(|&e| {
-                let pe = parent[e as usize].load(Ordering::Relaxed);
-                graph.for_each_triangle_of_edge(e, |_, e1, e2| {
-                    if tau[e1 as usize] < k || tau[e2 as usize] < k {
-                        return;
-                    }
-                    for &ei in &[e1, e2] {
-                        if tau[ei as usize] != k {
-                            continue;
-                        }
-                        let pi = parent[ei as usize].load(Ordering::Relaxed);
-                        if pe == pi {
-                            continue;
-                        }
-                        if pe < pi && parent[pi as usize].load(Ordering::Relaxed) == pi {
-                            parent[pi as usize].store(pe, Ordering::Relaxed);
-                            hooking.store(true, Ordering::Relaxed);
-                        }
-                    }
-                });
-            });
-            group.par_iter().for_each(|&e| {
-                let i = e as usize;
-                let mut p = parent[i].load(Ordering::Relaxed);
-                let mut gp = parent[p as usize].load(Ordering::Relaxed);
-                while p != gp {
-                    parent[i].store(gp, Ordering::Relaxed);
-                    p = gp;
-                    gp = parent[p as usize].load(Ordering::Relaxed);
-                }
-            });
-        }
-    }
+/// [`TriangleAdjacency`] over the dynamic hash-set adjacency: yields the
+/// same-trussness triangle partners of an edge, restricted to triangles
+/// inside the maximal k-truss — the dynamic analog of
+/// `et_core::engine::CsrTriangleView`.
+struct DynTriangleView<'a> {
+    graph: &'a DynamicGraph,
+    trussness: &'a [u32],
+    k: u32,
+}
 
-    fn spedge_group(&self, k: u32, group: &[EdgeId], subsets: &mut Vec<Vec<RootPair>>) {
-        let tau = &self.trussness;
-        let parent = &self.parent;
-        let new: Vec<Vec<RootPair>> = group
-            .par_iter()
-            .fold(Vec::new, |mut acc: Vec<RootPair>, &e| {
-                let pe = parent[e as usize].load(Ordering::Relaxed);
-                self.graph.for_each_triangle_of_edge(e, |_, e1, e2| {
-                    let (k1, k2) = (tau[e1 as usize], tau[e2 as usize]);
-                    let lowest = k.min(k1).min(k2);
-                    if lowest < 3 {
-                        return;
-                    }
-                    if k > lowest && lowest == k1 {
-                        acc.push((parent[e1 as usize].load(Ordering::Relaxed), pe));
-                    }
-                    if k > lowest && lowest == k2 {
-                        acc.push((parent[e2 as usize].load(Ordering::Relaxed), pe));
-                    }
-                });
-                acc
-            })
-            .collect();
-        subsets.extend(new.into_iter().filter(|s| !s.is_empty()));
+impl TriangleAdjacency for DynTriangleView<'_> {
+    fn for_each_partner<F: FnMut(u32)>(&self, e: u32, mut f: F) {
+        self.graph.for_each_triangle_of_edge(e, |_, e1, e2| {
+            let (k1, k2) = (self.trussness[e1 as usize], self.trussness[e2 as usize]);
+            if k1 < self.k || k2 < self.k {
+                return; // triangle not inside the k-truss
+            }
+            if k1 == self.k {
+                f(e1);
+            }
+            if k2 == self.k {
+                f(e2);
+            }
+        });
     }
 }
 

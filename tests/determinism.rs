@@ -2,7 +2,9 @@
 //! bit-identical across runs and thread counts (the reproduction harness
 //! depends on it).
 
-use parallel_equitruss::equitruss::{build_index, Variant};
+use parallel_equitruss::equitruss::{
+    build_index, build_index_with_options, Schedule, SupportKernel, Variant,
+};
 use parallel_equitruss::gen;
 use parallel_equitruss::graph::EdgeIndexedGraph;
 
@@ -53,6 +55,36 @@ fn every_variant_is_thread_invariant() {
         let c1 = in_pool(1, || build_index(&g, variant).index.canonical());
         let c3 = in_pool(3, || build_index(&g, variant).index.canonical());
         assert_eq!(c1, c3, "variant {}", variant.name());
+    }
+}
+
+/// All three variants, under both the wave scheduler and the paper's per-k
+/// loop, at 1 and 4 threads, must produce one canonical index.
+#[test]
+fn schedules_are_thread_invariant_and_equivalent() {
+    let g = EdgeIndexedGraph::new(gen::overlapping_cliques(300, 70, (3, 7), 120, 33));
+    for variant in Variant::ALL {
+        let reference = in_pool(1, || {
+            build_index_with_options(&g, variant, SupportKernel::default(), Schedule::PerK)
+                .index
+                .canonical()
+        });
+        for schedule in Schedule::ALL {
+            for threads in [1usize, 4] {
+                let c = in_pool(threads, || {
+                    build_index_with_options(&g, variant, SupportKernel::default(), schedule)
+                        .index
+                        .canonical()
+                });
+                assert_eq!(
+                    c,
+                    reference,
+                    "variant {} schedule {} threads {threads}",
+                    variant.name(),
+                    schedule.name()
+                );
+            }
+        }
     }
 }
 

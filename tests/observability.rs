@@ -74,6 +74,15 @@ fn chrome_trace_has_kernel_spans_and_counters() {
             "missing {kernel} spans in {names:?}"
         );
     }
+    // The wave schedule (the default) wraps the per-k kernels in one outer
+    // span per wave per variant run.
+    for wave in ["SpNodeWave", "SpEdgeWave"] {
+        assert_eq!(
+            names.iter().filter(|n| **n == wave).count(),
+            Variant::ALL.len(),
+            "missing {wave} spans in {names:?}"
+        );
+    }
     // Per-k kernels carry a k argument.
     let spnode = events
         .iter()
@@ -95,11 +104,13 @@ fn chrome_trace_has_kernel_spans_and_counters() {
         "spedge.candidates",
         "smgraph.pairs_in",
         "smgraph.pairs_out",
+        "engine.wave_width", // Φ_k groups dispatched per wave
     ] {
         assert!(m.counter(c) > 0, "counter {c} is zero: {:?}", m.counters);
     }
     assert!(m.distribution("phi.group_size").is_some());
     assert!(m.distribution("spedge.buffer_len").is_some());
+    assert!(m.distribution("spedge.subset_skew").is_some());
     // The same counters surface in the exported JSON.
     assert!(
         json["metrics"]["counters"]["sv.hook_iterations"]
