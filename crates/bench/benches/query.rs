@@ -1,15 +1,18 @@
-//! Community-search query latency: EquiTruss index traversal vs TCP-Index
-//! vs the brute-force oracle — the reason the index exists.
+//! Community-search query latency: hierarchy climb vs supergraph BFS vs
+//! TCP-Index vs the brute-force oracle — the reason the index exists.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use et_community::{ground_truth, query_communities, TcpIndex};
+use et_community::{
+    count_communities, ground_truth, query_communities, query_communities_bfs, TcpIndex,
+};
 use et_core::{build_index, Variant};
 use std::hint::black_box;
 
 fn bench_queries(c: &mut Criterion) {
     let graph = et_bench::dataset("dblp", 0.25);
     let decomposition = et_truss::decompose_parallel(&graph);
-    let index = build_index(&graph, Variant::Afforest).index;
+    let build = build_index(&graph, Variant::Afforest);
+    let (index, hierarchy) = (build.index, build.hierarchy);
     let tcp = TcpIndex::build(&graph, &decomposition.trussness);
 
     // Query workload: 64 spread vertices at k = 4.
@@ -19,11 +22,29 @@ fn bench_queries(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("community_query");
     group.sample_size(20);
-    group.bench_function(BenchmarkId::new("equitruss", "dblp"), |b| {
+    group.bench_function(BenchmarkId::new("hierarchy", "dblp"), |b| {
         b.iter(|| {
             let mut total = 0usize;
             for &q in &queries {
-                total += query_communities(&graph, &index, q, k).len();
+                total += query_communities(&graph, &index, &hierarchy, q, k).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("hierarchy_count_only", "dblp"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += count_communities(&graph, &index, &hierarchy, q, k);
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::new("supergraph_bfs", "dblp"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += query_communities_bfs(&graph, &index, q, k).len();
             }
             black_box(total)
         })

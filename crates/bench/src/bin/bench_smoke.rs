@@ -7,12 +7,21 @@
 //! cheap CI tripwire: it runs in seconds, proves the kernels agree, and
 //! records a speedup snapshot so regressions show up in the artifact diff.
 //!
-//! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH]`
+//! A third artifact (`BENCH_query.json`) times community *query serving*:
+//! per-query latency of the truss-hierarchy engine vs the supergraph-BFS
+//! oracle vs the TCP-Index baseline, plus batch throughput at 1 and 4 rayon
+//! threads — with a byte-identity assertion between the two EquiTruss
+//! engines on every query.
+//!
+//! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH] [--query-out PATH]`
 
+use et_community::{query_communities, query_communities_bfs, TcpIndex};
 use et_core::{
-    build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, Variant,
+    build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, TrussHierarchy,
+    Variant,
 };
 use et_graph::EdgeIndexedGraph;
+use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -67,6 +76,37 @@ struct IndexReport {
     results: Vec<IndexRow>,
 }
 
+/// Batch throughput of one engine at a fixed rayon pool width.
+#[derive(Serialize)]
+struct BatchRow {
+    threads: usize,
+    hierarchy_qps: f64,
+    bfs_qps: f64,
+}
+
+/// Query serving on one graph: best-of-N per-query latency per engine plus
+/// batch throughput.
+#[derive(Serialize)]
+struct QueryRow {
+    graph: String,
+    queries: usize,
+    k: u32,
+    hierarchy_us_per_query: f64,
+    bfs_us_per_query: f64,
+    tcp_us_per_query: f64,
+    hierarchy_speedup_vs_bfs: f64,
+    hierarchy_speedup_vs_tcp: f64,
+    batch: Vec<BatchRow>,
+}
+
+#[derive(Serialize)]
+struct QueryReport {
+    benchmark: &'static str,
+    quick: bool,
+    reps: usize,
+    results: Vec<QueryRow>,
+}
+
 fn time_ms<T>(f: &mut impl FnMut() -> T) -> f64 {
     let t0 = Instant::now();
     std::hint::black_box(f());
@@ -102,6 +142,11 @@ fn main() {
         .position(|a| a == "--index-out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_index.json".to_string());
+    let query_out = args
+        .iter()
+        .position(|a| a == "--query-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_query.json".to_string());
 
     // Three regimes: a skewed R-MAT, many moderate overlapping cliques
     // (DBLP-like average structure, where the triangle-once Support kernel
@@ -272,4 +317,133 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("writing {index_out}: {e}"));
     println!("wrote {index_out}");
+
+    // ---- Query serving -----------------------------------------------------
+    // Per-query latency (best of `reps` interleaved sweeps) of the hierarchy
+    // engine vs the BFS oracle vs TCP-Index, then batch throughput of the
+    // two EquiTruss engines at 1 and 4 rayon threads. Identity between the
+    // EquiTruss engines is asserted on every query in the workload.
+    let k = 4u32;
+    let workload_size = if quick { 64 } else { 256 };
+    let mut query_rows = Vec::new();
+    for (name, g) in &graphs {
+        let d = et_truss::decompose_parallel(g);
+        let mut t = KernelTimings::default();
+        let index = build_index_with_decomposition_scheduled(
+            g,
+            &d,
+            Variant::Afforest,
+            Schedule::Wave,
+            &mut t,
+        );
+        let hierarchy = TrussHierarchy::build(&index);
+        let tcp = TcpIndex::build(g, &d.trussness);
+
+        let n = g.num_vertices() as u32;
+        let queries: Vec<u32> = (0..workload_size as u32)
+            .map(|i| i * (n / workload_size as u32).max(1) % n)
+            .collect();
+        for &q in &queries {
+            assert_eq!(
+                query_communities(g, &index, &hierarchy, q, k),
+                query_communities_bfs(g, &index, q, k),
+                "{name}: engines disagree at q={q} k={k}"
+            );
+        }
+
+        let sweep_us = |total_ms: f64| total_ms * 1e3 / queries.len() as f64;
+        let (hier_ms, bfs_ms) = best_pair_ms(
+            reps,
+            || {
+                queries
+                    .iter()
+                    .map(|&q| query_communities(g, &index, &hierarchy, q, k).len())
+                    .sum::<usize>()
+            },
+            || {
+                queries
+                    .iter()
+                    .map(|&q| query_communities_bfs(g, &index, q, k).len())
+                    .sum::<usize>()
+            },
+        );
+        let mut tcp_sweep = || {
+            queries
+                .iter()
+                .map(|&q| tcp.query(g, &d.trussness, q, k).len())
+                .sum::<usize>()
+        };
+        let mut tcp_ms = f64::INFINITY;
+        for _ in 0..reps {
+            tcp_ms = tcp_ms.min(time_ms(&mut tcp_sweep));
+        }
+
+        // Batch throughput: many concurrent queries over a read-only index.
+        let batch_queries: Vec<(u32, u32)> = queries.iter().map(|&q| (q, k)).collect();
+        let mut batch = Vec::new();
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            fn run(reps: usize, n_queries: usize, mut f: impl FnMut() -> usize) -> f64 {
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    best = best.min(time_ms(&mut f));
+                }
+                n_queries as f64 / (best / 1e3)
+            }
+            let hierarchy_qps = pool.install(|| {
+                run(reps, batch_queries.len(), || {
+                    et_community::batch_query_communities(g, &index, &hierarchy, &batch_queries)
+                        .len()
+                })
+            });
+            let bfs_qps = pool.install(|| {
+                run(reps, batch_queries.len(), || {
+                    batch_queries
+                        .par_iter()
+                        .map(|&(q, qk)| query_communities_bfs(g, &index, q, qk).len())
+                        .sum::<usize>()
+                })
+            });
+            batch.push(BatchRow {
+                threads,
+                hierarchy_qps,
+                bfs_qps,
+            });
+        }
+
+        println!(
+            "{name}: query k={k} hierarchy {:.1}us vs bfs {:.1}us ({:.2}x) vs tcp {:.1}us ({:.2}x)",
+            sweep_us(hier_ms),
+            sweep_us(bfs_ms),
+            bfs_ms / hier_ms,
+            sweep_us(tcp_ms),
+            tcp_ms / hier_ms,
+        );
+        query_rows.push(QueryRow {
+            graph: name.to_string(),
+            queries: queries.len(),
+            k,
+            hierarchy_us_per_query: sweep_us(hier_ms),
+            bfs_us_per_query: sweep_us(bfs_ms),
+            tcp_us_per_query: sweep_us(tcp_ms),
+            hierarchy_speedup_vs_bfs: bfs_ms / hier_ms,
+            hierarchy_speedup_vs_tcp: tcp_ms / hier_ms,
+            batch,
+        });
+    }
+    let doc = QueryReport {
+        benchmark: "community query smoke",
+        quick,
+        reps,
+        results: query_rows,
+    };
+    std::fs::write(
+        &query_out,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {query_out}: {e}"));
+    println!("wrote {query_out}");
 }

@@ -39,13 +39,14 @@ pub fn run(opts: &Opts) -> Report {
     let k = 4u32;
     for name in ["amazon", "dblp", "youtube"] {
         let graph = dataset(name, opts.scale);
-        let index = build_index(&graph, Variant::Afforest).index;
+        let build = build_index(&graph, Variant::Afforest);
+        let (index, hierarchy) = (build.index, build.hierarchy);
         let kcore = KCoreIndex::build(graph.graph());
 
         let n = graph.num_vertices() as u32;
         let mut stats = QualityAccum::default();
         for q in (0..n).step_by((n as usize / 200).max(1)) {
-            let truss = query_communities(&graph, &index, q, k);
+            let truss = query_communities(&graph, &index, &hierarchy, q, k);
             let Some(tc) = truss.first() else { continue };
             let Some(cc) = kcore.community(graph.graph(), q, k) else {
                 continue;

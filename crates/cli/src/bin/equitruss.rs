@@ -1,6 +1,8 @@
 //! `equitruss` — build, persist, inspect, and query EquiTruss indexes.
 
-use et_cli::{cmd_build, cmd_generate, cmd_query, cmd_stats, parse_variant};
+use et_cli::{
+    cmd_build, cmd_generate, cmd_query, cmd_query_batch, cmd_stats, parse_engine, parse_variant,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -10,7 +12,8 @@ fn usage() -> ! {
          equitruss generate <profile> [--scale F] -o <graph.{{txt|bin}}>\n  \
          equitruss stats <graph>\n  \
          equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
-         equitruss query <graph> <index.etidx> -v <vertex> -k <level>\n\n\
+         equitruss query <graph> <index.etidx> -v <vertex> -k <level> [--engine hierarchy|bfs]\n  \
+         equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n\n\
          options (any command):\n  \
          --trace-out <trace.json>   record spans + counters, write chrome://tracing JSON\n  \
          ET_TRACE=1                 enable tracing without writing a file"
@@ -88,9 +91,28 @@ fn main() -> ExitCode {
         "query" => {
             let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
             let index = args.positional.get(2).unwrap_or_else(|| usage()).clone();
-            let v: u32 = require_flag("v").parse().unwrap_or_else(|_| usage());
-            let k: u32 = require_flag("k").parse().unwrap_or_else(|_| usage());
-            cmd_query(&PathBuf::from(graph), &PathBuf::from(index), v, k)
+            let engine = match get_flag("engine") {
+                Some(e) => match parse_engine(&e) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => et_cli::QueryEngine::Hierarchy,
+            };
+            if let Some(batch) = get_flag("batch") {
+                cmd_query_batch(
+                    &PathBuf::from(graph),
+                    &PathBuf::from(index),
+                    &PathBuf::from(batch),
+                    engine,
+                )
+            } else {
+                let v: u32 = require_flag("v").parse().unwrap_or_else(|_| usage());
+                let k: u32 = require_flag("k").parse().unwrap_or_else(|_| usage());
+                cmd_query(&PathBuf::from(graph), &PathBuf::from(index), v, k, engine)
+            }
         }
         _ => usage(),
     };

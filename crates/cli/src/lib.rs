@@ -119,28 +119,58 @@ pub fn cmd_build(graph_path: &Path, out: &Path, variant: Variant) -> CliResult {
     let mut timings = et_core::KernelTimings::default();
     let index =
         et_core::build_index_with_decomposition(&graph, &decomposition, variant, &mut timings);
+    let hierarchy = et_core::timings::timed(&mut timings.hierarchy, || {
+        et_core::TrussHierarchy::build(&index)
+    });
     let elapsed = t0.elapsed();
-    index_io::write_index(&index, &decomposition.trussness, out)
+    index_io::write_index_with_hierarchy(&index, &decomposition.trussness, &hierarchy, out)
         .map_err(|e| format!("cannot write index: {e}"))?;
     Ok(format!(
-        "built {} index in {:.2?} (SpNode {:.2?}, SpEdge {:.2?}, SmGraph {:.2?})\n\
-         {} supernodes, {} superedges -> {}",
+        "built {} index in {:.2?} (SpNode {:.2?}, SpEdge {:.2?}, SmGraph {:.2?}, Hierarchy {:.2?})\n\
+         {} supernodes, {} superedges, {} hierarchy nodes -> {}",
         variant.name(),
         elapsed,
         timings.spnode,
         timings.spedge,
         timings.smgraph,
+        timings.hierarchy,
         index.num_supernodes(),
         index.num_superedges(),
+        hierarchy.num_nodes(),
         out.display()
     ))
 }
 
-/// `query <graph> <index> -v <vertex> -k <level>`: community search.
-pub fn cmd_query(graph_path: &Path, index_path: &Path, vertex: u32, k: u32) -> CliResult {
+/// Which community-search engine answers a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryEngine {
+    /// Merge-forest climb over the persisted truss hierarchy (default).
+    Hierarchy,
+    /// Trussness-filtered BFS over the supergraph (the oracle path).
+    Bfs,
+}
+
+/// Parses an engine name (`hierarchy` / `bfs`).
+pub fn parse_engine(name: &str) -> Result<QueryEngine, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "hierarchy" | "h" => Ok(QueryEngine::Hierarchy),
+        "bfs" | "b" => Ok(QueryEngine::Bfs),
+        other => Err(format!(
+            "unknown engine {other:?} (expected hierarchy | bfs)"
+        )),
+    }
+}
+
+struct LoadedIndex {
+    graph: EdgeIndexedGraph,
+    index: et_core::SuperGraph,
+    hierarchy: et_core::TrussHierarchy,
+}
+
+fn load_query_state(graph_path: &Path, index_path: &Path) -> Result<LoadedIndex, String> {
     let graph = load_graph(graph_path)?;
-    let (index, trussness) =
-        index_io::read_index(index_path).map_err(|e| format!("cannot load index: {e}"))?;
+    let (index, trussness, hierarchy) = index_io::read_index_with_hierarchy(index_path)
+        .map_err(|e| format!("cannot load index: {e}"))?;
     if trussness.len() != graph.num_edges() {
         return Err(format!(
             "index was built for a graph with {} edges, this graph has {}",
@@ -148,28 +178,148 @@ pub fn cmd_query(graph_path: &Path, index_path: &Path, vertex: u32, k: u32) -> C
             graph.num_edges()
         ));
     }
+    Ok(LoadedIndex {
+        graph,
+        index,
+        hierarchy,
+    })
+}
+
+fn run_query(
+    s: &LoadedIndex,
+    vertex: u32,
+    k: u32,
+    engine: QueryEngine,
+) -> Vec<et_community::Community> {
+    match engine {
+        QueryEngine::Hierarchy => {
+            et_community::query_communities(&s.graph, &s.index, &s.hierarchy, vertex, k)
+        }
+        QueryEngine::Bfs => et_community::query_communities_bfs(&s.graph, &s.index, vertex, k),
+    }
+}
+
+/// `query <graph> <index> -v <vertex> -k <level> [--engine hierarchy|bfs]`:
+/// community search for a single vertex.
+pub fn cmd_query(
+    graph_path: &Path,
+    index_path: &Path,
+    vertex: u32,
+    k: u32,
+    engine: QueryEngine,
+) -> CliResult {
+    let s = load_query_state(graph_path, index_path)?;
     let t0 = std::time::Instant::now();
-    let communities = et_community::query_communities(&graph, &index, vertex, k);
+    let communities = run_query(&s, vertex, k, engine);
     let elapsed = t0.elapsed();
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "vertex {vertex} at k = {k}: {} community(ies) [{elapsed:.2?}]",
+        "vertex {vertex} at k = {k}: {} community(ies) [{engine:?}, {elapsed:.2?}]",
         communities.len()
     );
     for (i, c) in communities.iter().enumerate() {
-        let m = et_community::community_metrics(&graph, c);
+        let m = et_community::community_metrics(&s.graph, c);
         let _ = writeln!(
             out,
             "  #{i}: {} vertices, {} edges, density {:.3}, conductance {:.3}",
             m.vertices, m.internal_edges, m.density, m.conductance
         );
-        let members = c.vertices(&graph);
+        let members = c.vertices(&s.graph);
         let shown: Vec<String> = members.iter().take(16).map(u32::to_string).collect();
         let suffix = if members.len() > 16 { ", …" } else { "" };
         let _ = writeln!(out, "      members: {}{suffix}", shown.join(", "));
     }
+    Ok(out)
+}
+
+/// `query <graph> <index> --batch <file> [--engine hierarchy|bfs]`: answers
+/// one `(vertex, k)` query per line of `file` (whitespace-separated; `#`
+/// starts a comment), printing the community sizes of each.
+///
+/// With the hierarchy engine the sizes come straight from the merge
+/// forest's per-node aggregates — no community is materialized.
+pub fn cmd_query_batch(
+    graph_path: &Path,
+    index_path: &Path,
+    batch_path: &Path,
+    engine: QueryEngine,
+) -> CliResult {
+    let text = std::fs::read_to_string(batch_path)
+        .map_err(|e| format!("cannot read {}: {e}", batch_path.display()))?;
+    let mut queries: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, String> {
+            tok.ok_or(())
+                .and_then(|t| t.parse().map_err(|_| ()))
+                .map_err(|()| {
+                    format!(
+                        "{}:{}: expected `<vertex> <k>`, got {line:?}",
+                        batch_path.display(),
+                        lineno + 1
+                    )
+                })
+        };
+        let v = parse(it.next())?;
+        let k = parse(it.next())?;
+        queries.push((v, k));
+    }
+
+    let s = load_query_state(graph_path, index_path)?;
+    let t0 = std::time::Instant::now();
+    let mut out = String::new();
+    match engine {
+        QueryEngine::Hierarchy => {
+            for &(v, k) in &queries {
+                let stats = et_community::community_stats(&s.graph, &s.index, &s.hierarchy, v, k);
+                let sizes: Vec<String> = stats
+                    .iter()
+                    .map(|cs| format!("{} edges / {} supernodes", cs.edges, cs.supernodes))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "v={v} k={k}: {} community(ies){}{}",
+                    stats.len(),
+                    if sizes.is_empty() { "" } else { " — " },
+                    sizes.join("; ")
+                );
+            }
+        }
+        QueryEngine::Bfs => {
+            for &(v, k) in &queries {
+                let cs = et_community::query_communities_bfs(&s.graph, &s.index, v, k);
+                let sizes: Vec<String> = cs
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{} edges / {} supernodes",
+                            c.edges.len(),
+                            c.supernodes.len()
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "v={v} k={k}: {} community(ies){}{}",
+                    cs.len(),
+                    if sizes.is_empty() { "" } else { " — " },
+                    sizes.join("; ")
+                );
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    let _ = writeln!(
+        out,
+        "{} queries in {elapsed:.2?} [{engine:?}]",
+        queries.len()
+    );
     Ok(out)
 }
 
@@ -203,8 +353,57 @@ mod tests {
         let q = (0..g.num_vertices() as u32)
             .max_by_key(|&u| g.degree(u))
             .unwrap();
-        let out = cmd_query(&graph, &index, q, 3).unwrap();
+        let out = cmd_query(&graph, &index, q, 3, QueryEngine::Hierarchy).unwrap();
         assert!(out.contains("community"));
+        // Both engines agree on the rendered communities (the header line
+        // carries engine tag + wall time, so compare from line 2 on).
+        let bfs = cmd_query(&graph, &index, q, 3, QueryEngine::Bfs).unwrap();
+        let body = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(body(&out), body(&bfs));
+        assert!(bfs.contains("1 community(ies)") == out.contains("1 community(ies)"));
+    }
+
+    #[test]
+    fn batch_query_file() {
+        let dir = tmp_dir();
+        let graph = dir.join("bq.txt");
+        let index = dir.join("bq.etidx");
+        let batch = dir.join("bq.queries");
+        cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
+        cmd_build(&graph, &index, Variant::Afforest).unwrap();
+        let g = load_graph(&graph).unwrap();
+        let q = (0..g.num_vertices() as u32)
+            .max_by_key(|&u| g.degree(u))
+            .unwrap();
+        std::fs::write(
+            &batch,
+            format!("# vertex k\n{q} 3\n{q} 4   # inline comment\n\n0 100\n"),
+        )
+        .unwrap();
+        let out = cmd_query_batch(&graph, &index, &batch, QueryEngine::Hierarchy).unwrap();
+        assert!(out.contains("3 queries in"));
+        assert!(out.contains(&format!("v={q} k=3:")));
+        assert!(out.contains("v=0 k=100: 0 community(ies)"));
+        // Community counts and size multisets agree across engines.
+        let bfs = cmd_query_batch(&graph, &index, &batch, QueryEngine::Bfs).unwrap();
+        for (a, b) in out.lines().zip(bfs.lines()).take(3) {
+            let sizes = |s: &str| {
+                let mut v: Vec<String> = s
+                    .split(" — ")
+                    .nth(1)
+                    .unwrap_or("")
+                    .split("; ")
+                    .map(str::to_string)
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(a.split(" — ").next(), b.split(" — ").next());
+            assert_eq!(sizes(a), sizes(b));
+        }
+        // Malformed line is a user-facing error, not a panic.
+        std::fs::write(&batch, "12\n").unwrap();
+        assert!(cmd_query_batch(&graph, &index, &batch, QueryEngine::Hierarchy).is_err());
     }
 
     #[test]
@@ -231,7 +430,14 @@ mod tests {
         cmd_generate("dblp", 1.0 / 64.0, &g1).unwrap();
         cmd_generate("amazon", 1.0 / 64.0, &g2).unwrap();
         cmd_build(&g1, &idx, Variant::COptimal).unwrap();
-        assert!(cmd_query(&g2, &idx, 0, 3).is_err());
+        assert!(cmd_query(&g2, &idx, 0, 3, QueryEngine::Hierarchy).is_err());
+    }
+
+    #[test]
+    fn engine_parsing() {
+        assert_eq!(parse_engine("hierarchy").unwrap(), QueryEngine::Hierarchy);
+        assert_eq!(parse_engine("BFS").unwrap(), QueryEngine::Bfs);
+        assert!(parse_engine("dfs").is_err());
     }
 
     #[test]

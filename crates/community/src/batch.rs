@@ -1,11 +1,14 @@
 //! Parallel batch queries.
 //!
-//! Online community search serves many concurrent queries; the index is
-//! read-only after construction, so queries parallelize embarrassingly with
-//! rayon — one more payoff of building the index up front.
+//! Online community search serves many concurrent queries; the index and its
+//! truss hierarchy are read-only after construction, so queries parallelize
+//! embarrassingly with rayon — one more payoff of building the index up
+//! front. Each rayon worker reuses its own thread-local
+//! [`crate::scratch::QueryScratch`], so a batch of any size performs at most
+//! one visited-set allocation per worker thread.
 
-use crate::query::{query_communities, Community};
-use et_core::SuperGraph;
+use crate::query::{count_communities, query_communities, Community};
+use et_core::{SuperGraph, TrussHierarchy};
 use et_graph::{EdgeIndexedGraph, VertexId};
 use rayon::prelude::*;
 
@@ -14,11 +17,12 @@ use rayon::prelude::*;
 pub fn batch_query_communities(
     graph: &EdgeIndexedGraph,
     index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
     queries: &[(VertexId, u32)],
 ) -> Vec<Vec<Community>> {
     queries
         .par_iter()
-        .map(|&(q, k)| query_communities(graph, index, q, k))
+        .map(|&(q, k)| query_communities(graph, index, hierarchy, q, k))
         .collect()
 }
 
@@ -26,10 +30,18 @@ pub fn batch_query_communities(
 /// k-truss communities it belongs to at level `k`. The overlap statistic of
 /// Figure 1 (right) — vertices with count ≥ 2 sit in overlapping
 /// communities.
-pub fn membership_counts(graph: &EdgeIndexedGraph, index: &SuperGraph, k: u32) -> Vec<usize> {
+///
+/// Count-only fast path: each vertex costs its degree in hierarchy climbs —
+/// no community is ever materialized.
+pub fn membership_counts(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
+    k: u32,
+) -> Vec<usize> {
     (0..graph.num_vertices() as VertexId)
         .into_par_iter()
-        .map(|q| query_communities(graph, index, q, k).len())
+        .map(|q| count_communities(graph, index, hierarchy, q, k))
         .collect()
 }
 
@@ -39,20 +51,24 @@ mod tests {
     use et_core::{build_index, Variant};
     use et_gen::fixtures;
 
-    fn setup(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph) {
+    fn setup(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph, TrussHierarchy) {
         let eg = EdgeIndexedGraph::new(graph);
-        let idx = build_index(&eg, Variant::Afforest).index;
-        (eg, idx)
+        let b = build_index(&eg, Variant::Afforest);
+        (eg, b.index, b.hierarchy)
     }
 
     #[test]
     fn batch_matches_individual() {
-        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
         let queries: Vec<(u32, u32)> = (0..11).flat_map(|q| [(q, 3), (q, 4), (q, 5)]).collect();
-        let batch = batch_query_communities(&eg, &idx, &queries);
+        let batch = batch_query_communities(&eg, &idx, &h, &queries);
         assert_eq!(batch.len(), queries.len());
         for (i, &(q, k)) in queries.iter().enumerate() {
-            assert_eq!(batch[i], query_communities(&eg, &idx, q, k), "q={q} k={k}");
+            assert_eq!(
+                batch[i],
+                query_communities(&eg, &idx, &h, q, k),
+                "q={q} k={k}"
+            );
         }
     }
 
@@ -67,15 +83,30 @@ mod tests {
                 }
             }
         }
-        let (eg, idx) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
-        let counts = membership_counts(&eg, &idx, 4);
+        let (eg, idx, h) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
+        let counts = membership_counts(&eg, &idx, &h, 4);
         assert_eq!(counts[0], 2);
         assert!(counts[1..].iter().all(|&c| c == 1));
     }
 
     #[test]
+    fn counts_match_materialized_queries() {
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
+        for k in 3..=6 {
+            let counts = membership_counts(&eg, &idx, &h, k);
+            for q in 0..eg.num_vertices() as u32 {
+                assert_eq!(
+                    counts[q as usize],
+                    query_communities(&eg, &idx, &h, q, k).len(),
+                    "q={q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_batch() {
-        let (eg, idx) = setup(fixtures::clique(4).graph.clone());
-        assert!(batch_query_communities(&eg, &idx, &[]).is_empty());
+        let (eg, idx, h) = setup(fixtures::clique(4).graph.clone());
+        assert!(batch_query_communities(&eg, &idx, &h, &[]).is_empty());
     }
 }

@@ -71,8 +71,8 @@ pub fn brute_force_communities(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::query_communities;
-    use et_core::build_original;
+    use crate::query::{query_communities, query_communities_bfs};
+    use et_core::{build_original, TrussHierarchy};
     use et_gen::fixtures;
     use et_truss::decompose_serial;
 
@@ -80,15 +80,21 @@ mod tests {
         let eg = EdgeIndexedGraph::new(graph);
         let d = decompose_serial(&eg);
         let idx = build_original(&eg, &d.trussness);
+        let h = TrussHierarchy::build(&idx);
         let kmax = d.max_trussness.max(3);
         for q in (0..eg.num_vertices() as u32).step_by(1.max(eg.num_vertices() / 40)) {
             for k in 3..=kmax {
-                let fast: Vec<Vec<EdgeId>> = query_communities(&eg, &idx, q, k)
+                let fast: Vec<Vec<EdgeId>> = query_communities(&eg, &idx, &h, q, k)
+                    .into_iter()
+                    .map(|c| c.edges)
+                    .collect();
+                let bfs: Vec<Vec<EdgeId>> = query_communities_bfs(&eg, &idx, q, k)
                     .into_iter()
                     .map(|c| c.edges)
                     .collect();
                 let brute = brute_force_communities(&eg, &d.trussness, q, k);
-                assert_eq!(fast, brute, "{label}: q={q} k={k}");
+                assert_eq!(fast, brute, "{label}: hierarchy vs brute, q={q} k={k}");
+                assert_eq!(bfs, brute, "{label}: bfs vs brute, q={q} k={k}");
             }
         }
     }

@@ -5,11 +5,14 @@
 //! (Definition 7) — the goal-oriented, overlapping community search the
 //! paper's introduction motivates (Figure 1, right).
 //!
-//! Three independent engines, used to cross-validate each other:
+//! Four independent engines, used to cross-validate each other:
 //!
-//! * [`query::query_communities`] — supergraph traversal over the EquiTruss
-//!   index (the intended fast path; each community is a union of supernodes
-//!   reachable through supernodes of trussness ≥ k),
+//! * [`query::query_communities`] — the serving path: seed supernodes
+//!   resolve their community through the offline [`et_core::TrussHierarchy`]
+//!   merge forest (near-O(α) per seed, no traversal),
+//! * [`query::query_communities_bfs`] — supergraph traversal over the
+//!   EquiTruss index (each community is a union of supernodes reachable
+//!   through supernodes of trussness ≥ k); the hierarchy engine's oracle,
 //! * [`tcp::TcpIndex`] — the TCP-Index of Huang et al. (SIGMOD 2014;
 //!   reference [22]), the prior state of the art EquiTruss improves on:
 //!   per-vertex maximum spanning forests over triangle-weighted neighbor
@@ -25,11 +28,15 @@ pub mod kcore;
 pub mod membership;
 pub mod metrics;
 pub mod query;
+pub mod scratch;
 pub mod tcp;
 
 pub use batch::{batch_query_communities, membership_counts};
 pub use kcore::{KCoreCommunity, KCoreIndex};
 pub use membership::CommunityIndex;
 pub use metrics::{community_metrics, vertex_set_metrics, CommunityMetrics};
-pub use query::{community_of_edge, query_communities, strongest_communities, Community};
+pub use query::{
+    community_of_edge, community_of_edge_bfs, community_stats, count_communities,
+    query_communities, query_communities_bfs, strongest_communities, Community, CommunityStats,
+};
 pub use tcp::TcpIndex;

@@ -1,11 +1,12 @@
 //! High-level community-search façade.
 //!
-//! [`CommunityIndex`] bundles the graph, its trussness dictionary and the
-//! EquiTruss supergraph into a single queryable object — the "index for
-//! online community search" a downstream application would hold in memory.
+//! [`CommunityIndex`] bundles the graph, its trussness dictionary, the
+//! EquiTruss supergraph and the truss hierarchy into a single queryable
+//! object — the "index for online community search" a downstream
+//! application would hold in memory.
 
 use crate::query::{max_query_level, query_communities, Community};
-use et_core::{build_index_with_decomposition, KernelTimings, SuperGraph, Variant};
+use et_core::{build_index_with_decomposition, KernelTimings, SuperGraph, TrussHierarchy, Variant};
 use et_graph::{EdgeIndexedGraph, VertexId};
 use et_truss::TrussDecomposition;
 
@@ -14,33 +15,40 @@ pub struct CommunityIndex {
     graph: EdgeIndexedGraph,
     decomposition: TrussDecomposition,
     supergraph: SuperGraph,
+    hierarchy: TrussHierarchy,
 }
 
 impl CommunityIndex {
     /// Builds the full pipeline (support → truss decomposition → parallel
-    /// EquiTruss with the given variant) over `graph`.
+    /// EquiTruss with the given variant → truss hierarchy) over `graph`.
     pub fn build(graph: EdgeIndexedGraph, variant: Variant) -> Self {
         let decomposition = et_truss::decompose_parallel(&graph);
         let mut timings = KernelTimings::default();
         let supergraph =
             build_index_with_decomposition(&graph, &decomposition, variant, &mut timings);
+        let hierarchy = et_core::timings::timed(&mut timings.hierarchy, || {
+            TrussHierarchy::build(&supergraph)
+        });
         CommunityIndex {
             graph,
             decomposition,
             supergraph,
+            hierarchy,
         }
     }
 
-    /// Wraps precomputed parts (no recomputation).
+    /// Wraps precomputed parts; only the (cheap) hierarchy is derived.
     pub fn from_parts(
         graph: EdgeIndexedGraph,
         decomposition: TrussDecomposition,
         supergraph: SuperGraph,
     ) -> Self {
+        let hierarchy = TrussHierarchy::build(&supergraph);
         CommunityIndex {
             graph,
             decomposition,
             supergraph,
+            hierarchy,
         }
     }
 
@@ -59,9 +67,14 @@ impl CommunityIndex {
         &self.supergraph
     }
 
+    /// The truss hierarchy the query engine resolves against.
+    pub fn hierarchy(&self) -> &TrussHierarchy {
+        &self.hierarchy
+    }
+
     /// Every k-truss community containing `q`.
     pub fn communities_of(&self, q: VertexId, k: u32) -> Vec<Community> {
-        query_communities(&self.graph, &self.supergraph, q, k)
+        query_communities(&self.graph, &self.supergraph, &self.hierarchy, q, k)
     }
 
     /// The strongest cohesion level at which `q` participates in any
@@ -95,6 +108,7 @@ mod tests {
         assert_eq!(profile[0].0, 3);
         assert_eq!(profile[0].1.len(), 1);
         assert_eq!(profile[2].1[0].edges.len(), 10); // the K5 at k = 5
+        assert!(idx.hierarchy().check(idx.supergraph()).is_ok());
     }
 
     #[test]
@@ -115,5 +129,6 @@ mod tests {
         assert_eq!(idx.supergraph().num_supernodes(), 1);
         assert_eq!(idx.decomposition().max_trussness, 5);
         assert_eq!(idx.graph().num_edges(), 10);
+        assert_eq!(idx.hierarchy().num_leaves, 1);
     }
 }

@@ -116,7 +116,7 @@ pub fn vertex_set_metrics(graph: &EdgeIndexedGraph, vertices: &[VertexId]) -> Co
 mod tests {
     use super::*;
     use crate::query::query_communities;
-    use et_core::build_original;
+    use et_core::{build_original, TrussHierarchy};
     use et_gen::fixtures;
     use et_truss::decompose_serial;
 
@@ -124,7 +124,8 @@ mod tests {
         let eg = EdgeIndexedGraph::new(graph);
         let tau = decompose_serial(&eg).trussness;
         let idx = build_original(&eg, &tau);
-        let c = query_communities(&eg, &idx, q, k)
+        let h = TrussHierarchy::build(&idx);
+        let c = query_communities(&eg, &idx, &h, q, k)
             .into_iter()
             .next()
             .expect("community exists");

@@ -3,10 +3,24 @@
 //! A k-truss community containing q is exactly the union of the supernodes
 //! reachable — through supernodes of trussness ≥ k — from a supernode that
 //! holds an edge incident to q with trussness ≥ k (Akbas & Zhao's query
-//! algorithm). One BFS per distinct seed component; no trussness
-//! recomputation, no edge-level traversal.
+//! algorithm). Two engines compute it:
+//!
+//! * **Hierarchy** ([`query_communities`]) — the serving path. Each seed
+//!   supernode resolves its community id by climbing the offline
+//!   [`TrussHierarchy`] merge forest (near-O(α) per seed); the community's
+//!   supernodes are then one contiguous leaf slice, so materialization is a
+//!   copy + sort, and count/size queries touch no edges at all.
+//! * **BFS** ([`query_communities_bfs`]) — the original trussness-filtered
+//!   supergraph traversal, kept as the correctness oracle and as the
+//!   fallback when no hierarchy has been built.
+//!
+//! Both engines return byte-identical [`Community`] values and both track
+//! visited/seed state in the epoch-stamped thread-local
+//! [`crate::scratch::QueryScratch`] — steady-state serving performs no heap
+//! allocation beyond the returned communities themselves.
 
-use et_core::SuperGraph;
+use crate::scratch::{with_scratch, QueryScratch};
+use et_core::{SuperGraph, TrussHierarchy};
 use et_graph::view::{edge_subgraph, Subgraph};
 use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
 
@@ -42,11 +56,153 @@ impl Community {
     }
 }
 
-/// Returns every k-truss community containing `q`, for `k ≥ 3`.
+/// Size metadata of one community, straight from the hierarchy's per-node
+/// aggregates — no supernode or edge list is materialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommunityStats {
+    /// The community's canonical hierarchy node id.
+    pub node: u32,
+    /// Number of supernodes in the community.
+    pub supernodes: u32,
+    /// Number of member edges in the community.
+    pub edges: u64,
+}
+
+/// Resolves the distinct community representatives of `q` at level `k` into
+/// `scratch.reps` (hierarchy node ids, in first-seen order). Returns the
+/// number of eligible seed supernode sightings.
+fn resolve_seed_reps(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
+    q: VertexId,
+    k: u32,
+    scratch: &mut QueryScratch,
+) -> u64 {
+    scratch.begin(hierarchy.num_nodes());
+    let mut seeds = 0u64;
+    let mut climbs = 0u64;
+    for (_, e) in graph.neighbors_with_eids(q) {
+        let Some(sn) = index.supernode_of(e) else {
+            continue;
+        };
+        let (rep, steps) = hierarchy.resolve_steps(sn, k);
+        climbs += steps;
+        if let Some(rep) = rep {
+            seeds += 1;
+            if scratch.mark(rep) {
+                scratch.reps.push(rep);
+            }
+        }
+    }
+    if et_obs::enabled() {
+        et_obs::counter_add("query.seeds", seeds);
+        et_obs::counter_add("query.hierarchy_climbs", climbs);
+    }
+    seeds
+}
+
+/// Copies a hierarchy node's leaf slice into a sorted [`Community`].
+fn materialize(index: &SuperGraph, hierarchy: &TrussHierarchy, rep: u32, k: u32) -> Community {
+    let mut supernodes = hierarchy.leaves(rep).to_vec();
+    supernodes.sort_unstable();
+    let (_, edge_count) = hierarchy.stats(rep);
+    let mut edges: Vec<EdgeId> = Vec::with_capacity(edge_count as usize);
+    for &sn in &supernodes {
+        edges.extend_from_slice(index.members(sn));
+    }
+    edges.sort_unstable();
+    Community {
+        k,
+        supernodes,
+        edges,
+    }
+}
+
+/// Returns every k-truss community containing `q`, for `k ≥ 3`, resolved
+/// through the truss hierarchy.
 ///
 /// Communities are returned sorted by their smallest member edge id, so the
-/// output is deterministic and comparable across engines.
+/// output is deterministic and byte-comparable across engines.
 pub fn query_communities(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
+    q: VertexId,
+    k: u32,
+) -> Vec<Community> {
+    if k < 3 || (q as usize) >= graph.num_vertices() {
+        return Vec::new();
+    }
+    let _span = et_obs::span("Query").arg("k", u64::from(k));
+    let mut communities = with_scratch(|scratch| {
+        resolve_seed_reps(graph, index, hierarchy, q, k, scratch);
+        scratch
+            .reps
+            .iter()
+            .map(|&rep| materialize(index, hierarchy, rep, k))
+            .collect::<Vec<_>>()
+    });
+    communities.sort_by_key(|c| c.edges.first().copied().unwrap_or(EdgeId::MAX));
+    communities
+}
+
+/// The number of distinct k-truss communities containing `q` — resolved
+/// entirely through hierarchy climbs and aggregates; no community is
+/// materialized and nothing is allocated.
+pub fn count_communities(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
+    q: VertexId,
+    k: u32,
+) -> usize {
+    if k < 3 || (q as usize) >= graph.num_vertices() {
+        return 0;
+    }
+    with_scratch(|scratch| {
+        resolve_seed_reps(graph, index, hierarchy, q, k, scratch);
+        scratch.reps.len()
+    })
+}
+
+/// Size metadata for every k-truss community of `q`, from per-node
+/// aggregates only (no edge lists). Sorted by hierarchy node id.
+pub fn community_stats(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
+    q: VertexId,
+    k: u32,
+) -> Vec<CommunityStats> {
+    if k < 3 || (q as usize) >= graph.num_vertices() {
+        return Vec::new();
+    }
+    let mut stats = with_scratch(|scratch| {
+        resolve_seed_reps(graph, index, hierarchy, q, k, scratch);
+        scratch
+            .reps
+            .iter()
+            .map(|&node| {
+                let (supernodes, edges) = hierarchy.stats(node);
+                CommunityStats {
+                    node,
+                    supernodes,
+                    edges,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    stats.sort_unstable_by_key(|s| s.node);
+    stats
+}
+
+/// [`query_communities`] computed by the original trussness-filtered BFS
+/// over the supergraph — the correctness oracle for the hierarchy engine,
+/// and the query path when no hierarchy is at hand. Visited tracking uses
+/// the thread-local scratch (seed dedup falls out of the visited set; no
+/// sort/dedup pass).
+pub fn query_communities_bfs(
     graph: &EdgeIndexedGraph,
     index: &SuperGraph,
     q: VertexId,
@@ -55,64 +211,105 @@ pub fn query_communities(
     if k < 3 || (q as usize) >= graph.num_vertices() {
         return Vec::new();
     }
-    let _span = et_obs::span("Query").arg("k", u64::from(k));
-    // Seed supernodes: containers of q's incident edges at trussness ≥ k.
-    let mut seeds: Vec<u32> = graph
-        .neighbors_with_eids(q)
-        .filter_map(|(_, e)| index.supernode_of(e))
-        .filter(|&sn| index.trussness(sn) >= k)
-        .collect();
-    seeds.sort_unstable();
-    seeds.dedup();
-
-    let mut visited = vec![false; index.num_supernodes()];
-    let mut communities = Vec::new();
-    let mut superedges_scanned = 0u64;
-    for &seed in &seeds {
-        if visited[seed as usize] {
-            continue;
-        }
-        // BFS across supernodes of trussness ≥ k.
-        let mut queue = std::collections::VecDeque::from([seed]);
-        visited[seed as usize] = true;
-        let mut supernodes = Vec::new();
-        while let Some(sn) = queue.pop_front() {
-            supernodes.push(sn);
-            superedges_scanned += index.neighbors(sn).len() as u64;
-            for &nb in index.neighbors(sn) {
-                if !visited[nb as usize] && index.trussness(nb) >= k {
-                    visited[nb as usize] = true;
-                    queue.push_back(nb);
-                }
+    let _span = et_obs::span("QueryBfs").arg("k", u64::from(k));
+    let mut communities = with_scratch(|scratch| {
+        scratch.begin(index.num_supernodes());
+        let mut communities = Vec::new();
+        let mut seeds = 0u64;
+        let mut superedges_scanned = 0u64;
+        for (_, e) in graph.neighbors_with_eids(q) {
+            let Some(seed) = index.supernode_of(e) else {
+                continue;
+            };
+            if index.trussness(seed) < k {
+                continue;
             }
+            seeds += 1;
+            if !scratch.mark(seed) {
+                continue;
+            }
+            communities.push(bfs_component(
+                index,
+                seed,
+                k,
+                scratch,
+                &mut superedges_scanned,
+            ));
         }
-        supernodes.sort_unstable();
-        let mut edges: Vec<EdgeId> = supernodes
-            .iter()
-            .flat_map(|&sn| index.members(sn).iter().copied())
-            .collect();
-        edges.sort_unstable();
-        communities.push(Community {
-            k,
-            supernodes,
-            edges,
-        });
+        if et_obs::enabled() {
+            et_obs::counter_add("query.seeds", seeds);
+            et_obs::counter_add(
+                "query.supernodes_visited",
+                communities.iter().map(|c| c.supernodes.len() as u64).sum(),
+            );
+            et_obs::counter_add("query.superedges_scanned", superedges_scanned);
+        }
+        communities
+    });
+    for c in &mut communities {
+        c.k = k;
     }
-    et_obs::counter_add("query.seeds", seeds.len() as u64);
-    et_obs::counter_add(
-        "query.supernodes_visited",
-        communities.iter().map(|c| c.supernodes.len() as u64).sum(),
-    );
-    et_obs::counter_add("query.superedges_scanned", superedges_scanned);
     communities.sort_by_key(|c| c.edges.first().copied().unwrap_or(EdgeId::MAX));
     communities
 }
 
+/// Collects the trussness-≥-k component of `seed` (already marked) using the
+/// scratch worklist; returns it as a sorted community with `k` left 0 for
+/// the caller to fill.
+fn bfs_component(
+    index: &SuperGraph,
+    seed: u32,
+    k: u32,
+    scratch: &mut QueryScratch,
+    superedges_scanned: &mut u64,
+) -> Community {
+    scratch.queue.clear();
+    scratch.queue.push(seed);
+    let mut supernodes = Vec::new();
+    while let Some(sn) = scratch.queue.pop() {
+        supernodes.push(sn);
+        *superedges_scanned += index.neighbors(sn).len() as u64;
+        for &nb in index.neighbors(sn) {
+            if index.trussness(nb) >= k && scratch.mark(nb) {
+                scratch.queue.push(nb);
+            }
+        }
+    }
+    supernodes.sort_unstable();
+    let mut edges: Vec<EdgeId> = supernodes
+        .iter()
+        .flat_map(|&sn| index.members(sn).iter().copied())
+        .collect();
+    edges.sort_unstable();
+    Community {
+        k: 0,
+        supernodes,
+        edges,
+    }
+}
+
 /// The k-truss community containing a specific *edge* at level `k`, if the
-/// edge belongs to one (τ(e) ≥ k ≥ 3). Edge-centric queries are the natural
-/// primitive when the "entity of interest" is a relationship rather than a
-/// vertex.
+/// edge belongs to one (τ(e) ≥ k ≥ 3), resolved through the hierarchy.
+/// Edge-centric queries are the natural primitive when the "entity of
+/// interest" is a relationship rather than a vertex.
 pub fn community_of_edge(
+    graph: &EdgeIndexedGraph,
+    index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
+    e: EdgeId,
+    k: u32,
+) -> Option<Community> {
+    if k < 3 || (e as usize) >= graph.num_edges() {
+        return None;
+    }
+    let seed = index.supernode_of(e)?;
+    let (rep, climbs) = hierarchy.resolve_steps(seed, k);
+    et_obs::counter_add("query.hierarchy_climbs", climbs);
+    Some(materialize(index, hierarchy, rep?, k))
+}
+
+/// [`community_of_edge`] via the BFS oracle.
+pub fn community_of_edge_bfs(
     graph: &EdgeIndexedGraph,
     index: &SuperGraph,
     e: EdgeId,
@@ -125,30 +322,14 @@ pub fn community_of_edge(
     if index.trussness(seed) < k {
         return None;
     }
-    let mut visited = vec![false; index.num_supernodes()];
-    let mut queue = std::collections::VecDeque::from([seed]);
-    visited[seed as usize] = true;
-    let mut supernodes = Vec::new();
-    while let Some(sn) = queue.pop_front() {
-        supernodes.push(sn);
-        for &nb in index.neighbors(sn) {
-            if !visited[nb as usize] && index.trussness(nb) >= k {
-                visited[nb as usize] = true;
-                queue.push_back(nb);
-            }
-        }
-    }
-    supernodes.sort_unstable();
-    let mut edges: Vec<EdgeId> = supernodes
-        .iter()
-        .flat_map(|&sn| index.members(sn).iter().copied())
-        .collect();
-    edges.sort_unstable();
-    Some(Community {
-        k,
-        supernodes,
-        edges,
-    })
+    let mut community = with_scratch(|scratch| {
+        scratch.begin(index.num_supernodes());
+        scratch.mark(seed);
+        let mut scanned = 0u64;
+        bfs_component(index, seed, k, scratch, &mut scanned)
+    });
+    community.k = k;
+    Some(community)
 }
 
 /// The communities of `q` at its personal maximum cohesion level — "the
@@ -157,10 +338,11 @@ pub fn community_of_edge(
 pub fn strongest_communities(
     graph: &EdgeIndexedGraph,
     index: &SuperGraph,
+    hierarchy: &TrussHierarchy,
     q: VertexId,
 ) -> Vec<Community> {
     match max_query_level(graph, index, q) {
-        Some(k) => query_communities(graph, index, q, k),
+        Some(k) => query_communities(graph, index, hierarchy, q, k),
         None => Vec::new(),
     }
 }
@@ -186,21 +368,47 @@ mod tests {
     use et_gen::fixtures;
     use et_truss::decompose_serial;
 
-    fn setup(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph) {
+    fn setup(graph: et_graph::CsrGraph) -> (EdgeIndexedGraph, SuperGraph, TrussHierarchy) {
         let eg = EdgeIndexedGraph::new(graph);
         let tau = decompose_serial(&eg).trussness;
         let idx = build_original(&eg, &tau);
-        (eg, idx)
+        let h = TrussHierarchy::build(&idx);
+        (eg, idx, h)
+    }
+
+    /// Hierarchy path, asserted byte-identical to the BFS oracle.
+    fn query_checked(
+        eg: &EdgeIndexedGraph,
+        idx: &SuperGraph,
+        h: &TrussHierarchy,
+        q: u32,
+        k: u32,
+    ) -> Vec<Community> {
+        let fast = query_communities(eg, idx, h, q, k);
+        assert_eq!(
+            fast,
+            query_communities_bfs(eg, idx, q, k),
+            "engines disagree at q={q} k={k}"
+        );
+        assert_eq!(fast.len(), count_communities(eg, idx, h, q, k));
+        let stats = community_stats(eg, idx, h, q, k);
+        for c in &fast {
+            assert!(stats
+                .iter()
+                .any(|s| s.supernodes as usize == c.supernodes.len()
+                    && s.edges as usize == c.edges.len()));
+        }
+        fast
     }
 
     #[test]
     fn paper_example_vertex0_k4() {
-        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
         // Vertex 0 at k = 4: its 4-truss community is ν1 ∪ ν3 if they are
         // connected via trussness ≥ 4 supernodes. ν1 and ν3 are only
         // connected through ν0/ν2 (k = 3), so they are separate communities —
         // but only ν1 contains an edge incident to vertex 0.
-        let cs = query_communities(&eg, &idx, 0, 4);
+        let cs = query_checked(&eg, &idx, &h, 0, 4);
         assert_eq!(cs.len(), 1);
         let vs = cs[0].vertices(&eg);
         assert_eq!(vs, vec![0, 1, 2, 3]);
@@ -209,10 +417,10 @@ mod tests {
 
     #[test]
     fn paper_example_vertex5_k4_reaches_k5_clique() {
-        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
         // Vertex 5's edges at trussness ≥ 4 live in ν3 (k=4); ν3 has a
         // superedge to ν4 (k=5 ≥ 4), so the community is ν3 ∪ ν4.
-        let cs = query_communities(&eg, &idx, 5, 4);
+        let cs = query_checked(&eg, &idx, &h, 5, 4);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].edges.len(), 8 + 10);
         let vs = cs[0].vertices(&eg);
@@ -221,37 +429,36 @@ mod tests {
 
     #[test]
     fn paper_example_vertex2_k3_is_whole_graph() {
-        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
         // At k = 3 everything is triangle-connected through ν0/ν2.
-        let cs = query_communities(&eg, &idx, 2, 3);
+        let cs = query_checked(&eg, &idx, &h, 2, 3);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].edges.len(), 27);
     }
 
     #[test]
     fn vertex_with_no_truss_edges() {
-        let (eg, idx) = setup(fixtures::bipartite(3, 3).graph.clone());
-        assert!(query_communities(&eg, &idx, 0, 3).is_empty());
+        let (eg, idx, h) = setup(fixtures::bipartite(3, 3).graph.clone());
+        assert!(query_checked(&eg, &idx, &h, 0, 3).is_empty());
         assert_eq!(max_query_level(&eg, &idx, 0), None);
     }
 
     #[test]
     fn k_above_max_returns_empty() {
-        let (eg, idx) = setup(fixtures::clique(5).graph.clone());
-        assert!(query_communities(&eg, &idx, 0, 6).is_empty());
-        assert_eq!(cs_len(&eg, &idx, 0, 5), 1);
+        let (eg, idx, h) = setup(fixtures::clique(5).graph.clone());
+        assert!(query_checked(&eg, &idx, &h, 0, 6).is_empty());
+        assert_eq!(query_checked(&eg, &idx, &h, 0, 5).len(), 1);
         assert_eq!(max_query_level(&eg, &idx, 0), Some(5));
-    }
-
-    fn cs_len(eg: &EdgeIndexedGraph, idx: &SuperGraph, q: u32, k: u32) -> usize {
-        query_communities(eg, idx, q, k).len()
     }
 
     #[test]
     fn invalid_inputs() {
-        let (eg, idx) = setup(fixtures::clique(4).graph.clone());
-        assert!(query_communities(&eg, &idx, 0, 2).is_empty());
-        assert!(query_communities(&eg, &idx, 99, 3).is_empty());
+        let (eg, idx, h) = setup(fixtures::clique(4).graph.clone());
+        assert!(query_communities(&eg, &idx, &h, 0, 2).is_empty());
+        assert!(query_communities(&eg, &idx, &h, 99, 3).is_empty());
+        assert_eq!(count_communities(&eg, &idx, &h, 0, 2), 0);
+        assert_eq!(count_communities(&eg, &idx, &h, 99, 3), 0);
+        assert!(community_stats(&eg, &idx, &h, 0, 2).is_empty());
         assert_eq!(max_query_level(&eg, &idx, 99), None);
     }
 
@@ -267,8 +474,8 @@ mod tests {
                 }
             }
         }
-        let (eg, idx) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
-        let cs = query_communities(&eg, &idx, 0, 4);
+        let (eg, idx, h) = setup(et_graph::GraphBuilder::from_edges(7, &edges).build());
+        let cs = query_checked(&eg, &idx, &h, 0, 4);
         assert_eq!(
             cs.len(),
             2,
@@ -282,38 +489,54 @@ mod tests {
 
     #[test]
     fn edge_query_matches_vertex_query() {
-        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
         // Edge (6,7) lives in the K5; its community at k = 4 must equal the
         // k = 4 community found from vertex 6.
         let e = eg.edge_id(6, 7).unwrap();
-        let ec = community_of_edge(&eg, &idx, e, 4).unwrap();
-        let vc = query_communities(&eg, &idx, 6, 4);
+        let ec = community_of_edge(&eg, &idx, &h, e, 4).unwrap();
+        assert_eq!(Some(&ec), community_of_edge_bfs(&eg, &idx, e, 4).as_ref());
+        let vc = query_communities(&eg, &idx, &h, 6, 4);
         assert!(vc.iter().any(|c| c.edges == ec.edges));
         // Below its trussness class nothing changes; above, None.
-        assert!(community_of_edge(&eg, &idx, e, 5).is_some());
-        assert!(community_of_edge(&eg, &idx, e, 6).is_none());
-        assert!(community_of_edge(&eg, &idx, e, 2).is_none());
-        assert!(community_of_edge(&eg, &idx, 9999, 3).is_none());
+        assert!(community_of_edge(&eg, &idx, &h, e, 5).is_some());
+        assert!(community_of_edge(&eg, &idx, &h, e, 6).is_none());
+        assert!(community_of_edge(&eg, &idx, &h, e, 2).is_none());
+        assert!(community_of_edge(&eg, &idx, &h, 9999, 3).is_none());
+        assert!(community_of_edge_bfs(&eg, &idx, e, 6).is_none());
+        assert!(community_of_edge_bfs(&eg, &idx, 9999, 3).is_none());
     }
 
     #[test]
     fn strongest_communities_use_max_level() {
-        let (eg, idx) = setup(fixtures::paper_example().graph.clone());
-        let best = strongest_communities(&eg, &idx, 6);
+        let (eg, idx, h) = setup(fixtures::paper_example().graph.clone());
+        let best = strongest_communities(&eg, &idx, &h, 6);
         assert_eq!(best.len(), 1);
         assert_eq!(best[0].k, 5);
         assert_eq!(best[0].edges.len(), 10);
         // Truss-free vertex: empty.
-        let (eg2, idx2) = setup(fixtures::bipartite(3, 3).graph.clone());
-        assert!(strongest_communities(&eg2, &idx2, 0).is_empty());
+        let (eg2, idx2, h2) = setup(fixtures::bipartite(3, 3).graph.clone());
+        assert!(strongest_communities(&eg2, &idx2, &h2, 0).is_empty());
     }
 
     #[test]
     fn community_subgraph_roundtrip() {
-        let (eg, idx) = setup(fixtures::clique(5).graph.clone());
-        let cs = query_communities(&eg, &idx, 0, 5);
+        let (eg, idx, h) = setup(fixtures::clique(5).graph.clone());
+        let cs = query_checked(&eg, &idx, &h, 0, 5);
         let sub = cs[0].subgraph(&eg);
         assert_eq!(sub.graph.num_vertices(), 5);
         assert_eq!(sub.graph.num_edges(), 10);
+    }
+
+    #[test]
+    fn engines_agree_across_all_queries_on_fixtures() {
+        for f in fixtures::all_fixtures() {
+            let (eg, idx, h) = setup(f.graph.clone());
+            let kmax = idx.sn_trussness.iter().copied().max().unwrap_or(3);
+            for q in 0..eg.num_vertices() as u32 {
+                for k in 3..=kmax + 1 {
+                    query_checked(&eg, &idx, &h, q, k);
+                }
+            }
+        }
     }
 }

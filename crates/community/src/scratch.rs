@@ -1,0 +1,148 @@
+//! Epoch-stamped, thread-local query scratch.
+//!
+//! Steady-state query serving must not allocate for visited/seed tracking:
+//! a `vec![false; n]` per query is an O(n) allocation + memset that dwarfs
+//! the O(α) hierarchy climb it supports. Instead every serving thread keeps
+//! one [`QueryScratch`] — a `u32` stamp array plus reusable queue/rep
+//! buffers — and each query opens a new *epoch*: a slot is "marked" iff its
+//! stamp equals the current epoch, so starting a query is a single integer
+//! increment, not a clear. The stamp array only grows (never shrinks), so
+//! after the first query against the largest index a thread serves, no
+//! further allocation happens; on the one-in-4-billion epoch wrap the array
+//! is zero-filled and the epoch restarts at 1.
+//!
+//! The scratch is `thread_local`, which composes with rayon: each worker in
+//! a batch query reuses its own scratch across the queries it steals.
+
+use std::cell::RefCell;
+
+/// Reusable per-thread query workspace. Obtain via [`with_scratch`].
+pub struct QueryScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+    /// Reusable traversal worklist (BFS frontier / pending nodes).
+    pub queue: Vec<u32>,
+    /// Reusable list of distinct community representatives.
+    pub reps: Vec<u32>,
+    /// Epochs started on this thread (diagnostics; also exported as the
+    /// `query.scratch_epochs` counter).
+    pub epochs: u64,
+    /// Times the stamp array grew on this thread. Stable across steady-state
+    /// queries — the no-allocation property tests assert on exactly this.
+    pub resizes: u64,
+}
+
+impl QueryScratch {
+    const fn new() -> Self {
+        QueryScratch {
+            stamps: Vec::new(),
+            epoch: 0,
+            queue: Vec::new(),
+            reps: Vec::new(),
+            epochs: 0,
+            resizes: 0,
+        }
+    }
+
+    /// Starts a fresh visited-set generation over a domain of `n` ids and
+    /// clears the reusable buffers (capacity retained).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+            self.resizes += 1;
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.epochs += 1;
+        et_obs::counter_add("query.scratch_epochs", 1);
+        self.queue.clear();
+        self.reps.clear();
+    }
+
+    /// Marks id `i`; returns `true` iff it was not yet marked this epoch.
+    #[inline]
+    pub fn mark(&mut self, i: u32) -> bool {
+        let slot = &mut self.stamps[i as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether id `i` is marked in the current epoch.
+    #[inline]
+    pub fn is_marked(&self, i: u32) -> bool {
+        self.stamps[i as usize] == self.epoch
+    }
+
+    /// Current stamp-array capacity (ids addressable without growth).
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<QueryScratch> = const { RefCell::new(QueryScratch::new()) };
+}
+
+/// Runs `f` with this thread's scratch. Calls must not nest (the scratch is
+/// a single mutable workspace); query entry points acquire it once and pass
+/// it down.
+pub fn with_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_invalidate_marks_without_clearing() {
+        with_scratch(|s| {
+            s.begin(8);
+            assert!(s.mark(3));
+            assert!(!s.mark(3));
+            assert!(s.is_marked(3));
+            assert!(!s.is_marked(4));
+            s.begin(8);
+            assert!(!s.is_marked(3), "new epoch forgets old marks");
+            assert!(s.mark(3));
+        });
+    }
+
+    #[test]
+    fn grows_only_when_domain_grows() {
+        with_scratch(|s| {
+            let r0 = s.resizes;
+            s.begin(16);
+            let grown = s.resizes;
+            assert!(grown >= r0);
+            for _ in 0..100 {
+                s.begin(16);
+                s.begin(4);
+            }
+            assert_eq!(s.resizes, grown, "steady state must not reallocate");
+            assert!(s.capacity() >= 16);
+        });
+    }
+
+    #[test]
+    fn wrap_resets_stamps() {
+        with_scratch(|s| {
+            s.begin(4);
+            s.mark(0);
+            // Force the wrap path.
+            s.epoch = u32::MAX;
+            s.begin(4);
+            assert_eq!(s.epoch, 1);
+            assert!(!s.is_marked(0));
+            assert!(s.mark(0));
+        });
+    }
+}

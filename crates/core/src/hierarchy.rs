@@ -1,0 +1,501 @@
+//! The truss hierarchy: a merge forest (dendrogram) over supernodes.
+//!
+//! Community search at level k is "the connected component of the seed
+//! supernode in the subgraph induced on supernodes of trussness ≥ k". As k
+//! decreases those components only ever *merge* — the induced subgraph grows
+//! monotonically — so the whole family of communities across every k forms a
+//! forest of merge events. This module materializes that forest once,
+//! offline, so the online query path can resolve a `(seed supernode, k)`
+//! community id by climbing a handful of parent pointers instead of running
+//! a trussness-filtered BFS over the supergraph.
+//!
+//! ## Construction (Kruskal-style)
+//!
+//! Superedges are bucketed by their *activation level* — the minimum
+//! trussness of their two endpoints, i.e. the largest k at which both
+//! endpoints are present in the induced subgraph. Processing levels in
+//! descending order with a union-find (reusing [`et_cc::DisjointSet`]),
+//! every component that gains members at level k is sealed under **one** new
+//! hierarchy node of that level whose children are the previous component
+//! tops. One node per (component, level) — not one per binary union — keeps
+//! the forest depth bounded by the number of distinct trussness levels on a
+//! root-to-leaf path, so a query climb is near-O(α) in practice.
+//!
+//! Descending union order is what makes the forest correct: when level k is
+//! sealed, the union-find partition is exactly connectivity over superedges
+//! with activation ≥ k, which is exactly the level-k community partition
+//! (singleton supernodes included as unsealed leaves).
+//!
+//! ## Per-node aggregates
+//!
+//! Each node stores its supernode count and member-edge count, and leaves
+//! are arranged in DFS order so every node's leaf set is one contiguous
+//! slice — metadata queries (community sizes, membership counts) never
+//! materialize edge lists, and full materialization is a slice copy.
+
+use crate::index::SuperGraph;
+use et_cc::DisjointSet;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Sentinel parent id for forest roots.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// The merge forest over a [`SuperGraph`]'s supernodes.
+///
+/// Nodes `0..num_leaves` are the supernodes themselves (leaf i is supernode
+/// i); nodes `num_leaves..` are merge events, appended in descending level
+/// order, so every parent id is strictly greater than its children's ids and
+/// every parent's level is ≤ its children's levels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrussHierarchy {
+    /// Number of leaves (= supernodes of the index it was built from).
+    pub num_leaves: u32,
+    /// Level of each node: trussness for leaves, merge level for internal
+    /// nodes.
+    pub node_level: Vec<u32>,
+    /// Parent node id, [`NO_NODE`] for roots.
+    pub node_parent: Vec<u32>,
+    /// Supernodes under each node.
+    pub node_sn_count: Vec<u32>,
+    /// Member edges (of the original graph) under each node.
+    pub node_edge_count: Vec<u64>,
+    /// Supernode ids in DFS order; each node's leaves are contiguous.
+    pub leaf_order: Vec<u32>,
+    /// Start of each node's slice of [`TrussHierarchy::leaf_order`].
+    pub leaf_begin: Vec<u32>,
+    /// End (exclusive) of each node's slice of
+    /// [`TrussHierarchy::leaf_order`].
+    pub leaf_end: Vec<u32>,
+}
+
+impl TrussHierarchy {
+    /// Number of nodes in the forest (leaves + merge events).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_level.len()
+    }
+
+    /// Level of node `x`.
+    #[inline]
+    pub fn level(&self, x: u32) -> u32 {
+        self.node_level[x as usize]
+    }
+
+    /// The supernode ids under node `x`, in DFS (not sorted) order.
+    #[inline]
+    pub fn leaves(&self, x: u32) -> &[u32] {
+        &self.leaf_order[self.leaf_begin[x as usize] as usize..self.leaf_end[x as usize] as usize]
+    }
+
+    /// `(supernode count, member-edge count)` aggregates of node `x`.
+    #[inline]
+    pub fn stats(&self, x: u32) -> (u32, u64) {
+        (
+            self.node_sn_count[x as usize],
+            self.node_edge_count[x as usize],
+        )
+    }
+
+    /// Resolves the level-k community of supernode `sn` to its canonical
+    /// hierarchy node id, or `None` if `sn`'s trussness is below `k`.
+    ///
+    /// Two supernodes are in the same k-community iff they resolve to the
+    /// same node. The climb walks parent pointers while the parent's level
+    /// is still ≥ k; levels are monotone non-increasing up the tree, so the
+    /// stop is exact.
+    #[inline]
+    pub fn resolve(&self, sn: u32, k: u32) -> Option<u32> {
+        self.resolve_steps(sn, k).0
+    }
+
+    /// [`TrussHierarchy::resolve`] that also reports the number of parent
+    /// pointers climbed, so hot query paths can expose
+    /// `query.hierarchy_climbs` without a counter per step.
+    #[inline]
+    pub fn resolve_steps(&self, sn: u32, k: u32) -> (Option<u32>, u64) {
+        if self.node_level[sn as usize] < k {
+            return (None, 0);
+        }
+        let mut x = sn;
+        let mut steps = 0u64;
+        loop {
+            let p = self.node_parent[x as usize];
+            if p == NO_NODE || self.node_level[p as usize] < k {
+                return (Some(x), steps);
+            }
+            x = p;
+            steps += 1;
+        }
+    }
+
+    /// Builds the merge forest from a constructed index.
+    pub fn build(index: &SuperGraph) -> TrussHierarchy {
+        let _span = et_obs::span("HierarchyBuild");
+        let num_leaves = index.num_supernodes() as u32;
+
+        // Activation level per superedge = the largest k at which both
+        // endpoints are in the level-k induced subgraph. Sorted descending
+        // (ties by endpoint pair) so the Kruskal sweep is deterministic.
+        let mut edges: Vec<(std::cmp::Reverse<u32>, u32, u32)> = index
+            .superedges
+            .par_iter()
+            .map(|&(a, b)| {
+                (
+                    std::cmp::Reverse(index.trussness(a).min(index.trussness(b))),
+                    a,
+                    b,
+                )
+            })
+            .collect();
+        edges.par_sort_unstable();
+
+        let mut dsu = DisjointSet::new(num_leaves as usize);
+        let mut node_level: Vec<u32> = index.sn_trussness.clone();
+        let mut node_parent: Vec<u32> = vec![NO_NODE; num_leaves as usize];
+        // Current top hierarchy node of each component, addressed through the
+        // component's union-find root.
+        let mut top: Vec<u32> = (0..num_leaves).collect();
+        let mut merge_events = 0u64;
+
+        let mut i = 0;
+        while i < edges.len() {
+            let level = edges[i].0 .0;
+            // Accumulate this level's merges per (current) component root;
+            // sealing after the level collapses all of a component's unions
+            // into a single node.
+            let mut pending: HashMap<u32, Vec<u32>> = HashMap::new();
+            while i < edges.len() && edges[i].0 .0 == level {
+                let (_, a, b) = edges[i];
+                i += 1;
+                let ra = dsu.find(a);
+                let rb = dsu.find(b);
+                if ra == rb {
+                    continue;
+                }
+                let mut ca = pending
+                    .remove(&ra)
+                    .unwrap_or_else(|| vec![top[ra as usize]]);
+                let cb = pending
+                    .remove(&rb)
+                    .unwrap_or_else(|| vec![top[rb as usize]]);
+                dsu.union(ra, rb);
+                ca.extend(cb);
+                pending.insert(dsu.find(ra), ca);
+            }
+            // Seal: one node per merged component. Order by smallest child
+            // top so node ids are independent of HashMap iteration order.
+            let mut sealed: Vec<(u32, Vec<u32>)> = pending.into_iter().collect();
+            sealed.sort_unstable_by_key(|(_, children)| children.iter().copied().min());
+            for (root, children) in sealed {
+                let id = node_level.len() as u32;
+                node_level.push(level);
+                node_parent.push(NO_NODE);
+                for &c in &children {
+                    node_parent[c as usize] = id;
+                }
+                top[root as usize] = id;
+                merge_events += children.len() as u64 - 1;
+            }
+        }
+        et_obs::counter_add("hierarchy.merge_events", merge_events);
+
+        Self::finish(index, num_leaves, node_level, node_parent)
+    }
+
+    /// Reassembles a hierarchy from its serialized forest (levels + parent
+    /// pointers), validating structure and recomputing the derived arrays
+    /// exactly as [`TrussHierarchy::build`] does — so a round-trip through
+    /// disk reproduces the built hierarchy bit for bit.
+    pub fn from_forest(
+        index: &SuperGraph,
+        node_level: Vec<u32>,
+        node_parent: Vec<u32>,
+    ) -> Result<TrussHierarchy, String> {
+        let num_leaves = index.num_supernodes() as u32;
+        let n = node_level.len();
+        if node_parent.len() != n {
+            return Err("level/parent array length mismatch".into());
+        }
+        if n < num_leaves as usize {
+            return Err("fewer hierarchy nodes than supernodes".into());
+        }
+        for (leaf, &lvl) in node_level.iter().take(num_leaves as usize).enumerate() {
+            if lvl != index.trussness(leaf as u32) {
+                return Err(format!("leaf {leaf} level {lvl} != supernode trussness"));
+            }
+        }
+        for (x, &p) in node_parent.iter().enumerate() {
+            if p == NO_NODE {
+                continue;
+            }
+            if p as usize >= n || p as usize <= x || (p < num_leaves) {
+                return Err(format!("node {x} has invalid parent {p}"));
+            }
+            if node_level[p as usize] > node_level[x] {
+                return Err(format!("node {x}: parent level exceeds child level"));
+            }
+        }
+        // Internal nodes must have children (otherwise leaf ranges would be
+        // empty and aggregates zero).
+        let mut has_child = vec![false; n];
+        for &p in &node_parent {
+            if p != NO_NODE {
+                has_child[p as usize] = true;
+            }
+        }
+        if has_child[..num_leaves as usize].iter().any(|&c| c) {
+            return Err("a leaf node has children".into());
+        }
+        if !has_child[num_leaves as usize..].iter().all(|&c| c) {
+            return Err("childless internal node".into());
+        }
+        Ok(Self::finish(index, num_leaves, node_level, node_parent))
+    }
+
+    /// Computes the derived arrays (children → DFS leaf order, leaf slices,
+    /// aggregates) from the forest arrays.
+    fn finish(
+        index: &SuperGraph,
+        num_leaves: u32,
+        node_level: Vec<u32>,
+        node_parent: Vec<u32>,
+    ) -> TrussHierarchy {
+        let n = node_level.len();
+
+        // Children CSR from parent pointers, child ids ascending per node.
+        let mut child_off = vec![0u32; n + 1];
+        for &p in &node_parent {
+            if p != NO_NODE {
+                child_off[p as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+        }
+        let mut cursor = child_off.clone();
+        let mut children = vec![0u32; *child_off.last().unwrap() as usize];
+        for (x, &p) in node_parent.iter().enumerate() {
+            if p != NO_NODE {
+                children[cursor[p as usize] as usize] = x as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+
+        // DFS from roots (ascending id) lays each node's leaves contiguous.
+        let mut leaf_order = Vec::with_capacity(num_leaves as usize);
+        let mut leaf_begin = vec![0u32; n];
+        let mut leaf_end = vec![0u32; n];
+        let mut stack: Vec<(u32, bool)> = Vec::new();
+        for root in (0..n as u32).filter(|&x| node_parent[x as usize] == NO_NODE) {
+            stack.push((root, false));
+            while let Some((x, exited)) = stack.pop() {
+                if exited {
+                    leaf_end[x as usize] = leaf_order.len() as u32;
+                    continue;
+                }
+                leaf_begin[x as usize] = leaf_order.len() as u32;
+                stack.push((x, true));
+                if x < num_leaves {
+                    leaf_order.push(x);
+                } else {
+                    let lo = child_off[x as usize] as usize;
+                    let hi = child_off[x as usize + 1] as usize;
+                    for &c in children[lo..hi].iter().rev() {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+
+        // Aggregates: child ids are strictly below parent ids, so one
+        // ascending pass accumulates bottom-up.
+        let mut node_sn_count = vec![0u32; n];
+        let mut node_edge_count = vec![0u64; n];
+        for leaf in 0..num_leaves {
+            node_sn_count[leaf as usize] = 1;
+            node_edge_count[leaf as usize] = index.members(leaf).len() as u64;
+        }
+        for x in 0..n {
+            let p = node_parent[x];
+            if p != NO_NODE {
+                node_sn_count[p as usize] += node_sn_count[x];
+                node_edge_count[p as usize] += node_edge_count[x];
+            }
+        }
+
+        TrussHierarchy {
+            num_leaves,
+            node_level,
+            node_parent,
+            node_sn_count,
+            node_edge_count,
+            leaf_order,
+            leaf_begin,
+            leaf_end,
+        }
+    }
+
+    /// Cross-checks the hierarchy against its index: every level-k component
+    /// resolved through the forest must equal the BFS component over the
+    /// supergraph. O(supernodes × levels) — a test/debug oracle, not a
+    /// serving path.
+    pub fn check(&self, index: &SuperGraph) -> Result<(), String> {
+        if self.num_leaves as usize != index.num_supernodes() {
+            return Err("leaf count != supernode count".into());
+        }
+        let levels: std::collections::BTreeSet<u32> = index.sn_trussness.iter().copied().collect();
+        for &k in &levels {
+            // BFS partition at level k.
+            let mut comp = vec![NO_NODE; self.num_leaves as usize];
+            for start in 0..self.num_leaves {
+                if index.trussness(start) < k || comp[start as usize] != NO_NODE {
+                    continue;
+                }
+                comp[start as usize] = start;
+                let mut queue = vec![start];
+                while let Some(sn) = queue.pop() {
+                    for &nb in index.neighbors(sn) {
+                        if index.trussness(nb) >= k && comp[nb as usize] == NO_NODE {
+                            comp[nb as usize] = start;
+                            queue.push(nb);
+                        }
+                    }
+                }
+            }
+            // Hierarchy resolution must induce the same partition.
+            let mut rep_of_comp: HashMap<u32, u32> = HashMap::new();
+            for sn in 0..self.num_leaves {
+                let resolved = self.resolve(sn, k);
+                if index.trussness(sn) < k {
+                    if resolved.is_some() {
+                        return Err(format!("sn {sn} below level {k} resolved"));
+                    }
+                    continue;
+                }
+                let rep = resolved.ok_or_else(|| format!("sn {sn} unresolved at {k}"))?;
+                match rep_of_comp.entry(comp[sn as usize]) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(rep);
+                    }
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        if *o.get() != rep {
+                            return Err(format!("sn {sn} split from its BFS component at {k}"));
+                        }
+                    }
+                }
+                if (self.node_sn_count[rep as usize] as usize) != self.leaves(rep).len() {
+                    return Err(format!("node {rep} aggregate != leaf slice"));
+                }
+            }
+            // Distinct BFS components must resolve to distinct reps.
+            let mut seen = std::collections::HashSet::new();
+            for rep in rep_of_comp.values() {
+                if !seen.insert(*rep) {
+                    return Err(format!("two BFS components share a rep at {k}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::original::build_original;
+    use et_graph::EdgeIndexedGraph;
+    use et_truss::decompose_serial;
+
+    fn hierarchy_for(graph: et_graph::CsrGraph) -> (SuperGraph, TrussHierarchy) {
+        let eg = EdgeIndexedGraph::new(graph);
+        let tau = decompose_serial(&eg).trussness;
+        let idx = build_original(&eg, &tau);
+        let h = TrussHierarchy::build(&idx);
+        (idx, h)
+    }
+
+    #[test]
+    fn paper_example_forest_shape() {
+        let (idx, h) = hierarchy_for(et_gen::fixtures::paper_example().graph.clone());
+        assert_eq!(h.num_leaves as usize, idx.num_supernodes());
+        h.check(&idx).unwrap();
+        // At k=3 the whole supergraph is one community: a single root holds
+        // every leaf.
+        let roots: Vec<u32> = (0..h.num_nodes() as u32)
+            .filter(|&x| h.node_parent[x as usize] == NO_NODE)
+            .collect();
+        assert_eq!(roots.len(), 1);
+        let (sn, edges) = h.stats(roots[0]);
+        assert_eq!(sn as usize, idx.num_supernodes());
+        assert_eq!(edges, 27);
+    }
+
+    #[test]
+    fn resolve_matches_trussness_gate() {
+        let (idx, h) = hierarchy_for(et_gen::fixtures::paper_example().graph.clone());
+        for sn in 0..idx.num_supernodes() as u32 {
+            let t = idx.trussness(sn);
+            assert!(h.resolve(sn, t).is_some());
+            assert!(h.resolve(sn, t + 1).is_none());
+        }
+    }
+
+    #[test]
+    fn forest_invariants_on_random_graphs() {
+        for seed in 0..4 {
+            let (idx, h) = hierarchy_for(et_gen::gnm(80, 500, seed));
+            h.check(&idx).unwrap();
+            for (x, &p) in h.node_parent.iter().enumerate() {
+                if p != NO_NODE {
+                    assert!(p as usize > x);
+                    assert!(h.node_level[p as usize] <= h.node_level[x]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_forest_roundtrips_and_validates() {
+        let (idx, h) = hierarchy_for(et_gen::overlapping_cliques(120, 25, (3, 6), 40, 2));
+        let rebuilt =
+            TrussHierarchy::from_forest(&idx, h.node_level.clone(), h.node_parent.clone()).unwrap();
+        assert_eq!(h, rebuilt);
+
+        // Tampered parents are rejected.
+        let mut bad_parent = h.node_parent.clone();
+        if let Some(slot) = bad_parent.iter_mut().find(|p| **p != NO_NODE) {
+            *slot = 0; // parent pointing at a leaf / below the child
+            assert!(TrussHierarchy::from_forest(&idx, h.node_level.clone(), bad_parent).is_err());
+        }
+        let mut bad_level = h.node_level.clone();
+        if !bad_level.is_empty() {
+            bad_level[0] += 1;
+            assert!(TrussHierarchy::from_forest(&idx, bad_level, h.node_parent.clone()).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_indexes() {
+        let (idx, h) = hierarchy_for(et_gen::fixtures::bipartite(3, 3).graph.clone());
+        assert_eq!(idx.num_supernodes(), 0);
+        assert_eq!(h.num_nodes(), 0);
+        h.check(&idx).unwrap();
+
+        // A single clique: one supernode, no superedges, forest of one leaf.
+        let (idx, h) = hierarchy_for(et_gen::fixtures::clique(5).graph.clone());
+        assert_eq!(idx.num_supernodes(), 1);
+        assert_eq!(h.num_nodes(), 1);
+        assert_eq!(h.resolve(0, 5), Some(0));
+        assert_eq!(h.resolve(0, 6), None);
+        assert_eq!(h.leaves(0), &[0]);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let g = et_gen::overlapping_cliques(150, 30, (3, 7), 60, 5);
+        let (_, h1) = hierarchy_for(g.clone());
+        let (_, h2) = hierarchy_for(g);
+        assert_eq!(h1, h2);
+    }
+}

@@ -2,15 +2,21 @@
 //!
 //! The whole point of an index is to build once and query many times across
 //! sessions, so the supergraph (plus the trussness dictionary it was built
-//! from) round-trips through a compact little-endian binary format. The
-//! format embeds array lengths and a magic/version header; loads are
-//! validated structurally before use.
+//! from and the truss hierarchy that serves queries) round-trips through a
+//! compact little-endian binary format. The format embeds array lengths and
+//! a magic/version header; loads are validated structurally before use.
+//!
+//! Version 2 appends the truss hierarchy's forest arrays (node levels +
+//! parent pointers); the derived arrays (DFS leaf order, aggregates) are
+//! recomputed deterministically on load, so the file stays compact and a
+//! loaded hierarchy is bit-identical to the built one.
 
+use crate::hierarchy::TrussHierarchy;
 use crate::index::SuperGraph;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"ETIDXv01";
+const MAGIC: &[u8; 8] = b"ETIDXv02";
 
 /// Errors from index (de)serialization.
 #[derive(Debug)]
@@ -98,10 +104,22 @@ fn read_usize_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<usize>, IndexIoErr
 /// Sanity cap for array lengths read from disk (1 billion entries).
 const LEN_CAP: u64 = 1 << 30;
 
-/// Writes the index (and the trussness dictionary) to `path`.
+/// Writes the index (and the trussness dictionary) to `path`, building the
+/// truss hierarchy on the fly. When the pipeline already produced one
+/// (`IndexBuild::hierarchy`), use [`write_index_with_hierarchy`] instead.
 pub fn write_index<P: AsRef<Path>>(
     index: &SuperGraph,
     trussness: &[u32],
+    path: P,
+) -> Result<(), IndexIoError> {
+    write_index_with_hierarchy(index, trussness, &TrussHierarchy::build(index), path)
+}
+
+/// Writes the index, trussness dictionary, and a prebuilt truss hierarchy.
+pub fn write_index_with_hierarchy<P: AsRef<Path>>(
+    index: &SuperGraph,
+    trussness: &[u32],
+    hierarchy: &TrussHierarchy,
     path: P,
 ) -> Result<(), IndexIoError> {
     let file = std::fs::File::create(path)?;
@@ -119,12 +137,25 @@ pub fn write_index<P: AsRef<Path>>(
     }
     write_usize_slice(&mut w, &index.adj_offsets)?;
     write_u32_slice(&mut w, &index.adj_targets)?;
+    write_u32_slice(&mut w, &hierarchy.node_level)?;
+    write_u32_slice(&mut w, &hierarchy.node_parent)?;
     w.flush()?;
     Ok(())
 }
 
-/// Loads an index written by [`write_index`]; returns `(index, trussness)`.
+/// Loads an index written by [`write_index`]; returns `(index, trussness)`,
+/// discarding the hierarchy section. Query-serving callers should prefer
+/// [`read_index_with_hierarchy`].
 pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Vec<u32>), IndexIoError> {
+    let (index, trussness, _) = read_index_with_hierarchy(path)?;
+    Ok((index, trussness))
+}
+
+/// Loads an index plus its truss hierarchy; returns
+/// `(index, trussness, hierarchy)`.
+pub fn read_index_with_hierarchy<P: AsRef<Path>>(
+    path: P,
+) -> Result<(SuperGraph, Vec<u32>, TrussHierarchy), IndexIoError> {
     let file = std::fs::File::open(path)?;
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
@@ -151,6 +182,8 @@ pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Vec<u32>), Ind
     }
     let adj_offsets = read_usize_vec(&mut r, LEN_CAP)?;
     let adj_targets = read_u32_vec(&mut r, LEN_CAP)?;
+    let node_level = read_u32_vec(&mut r, LEN_CAP)?;
+    let node_parent = read_u32_vec(&mut r, LEN_CAP)?;
 
     let index = SuperGraph {
         sn_trussness,
@@ -162,7 +195,9 @@ pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Vec<u32>), Ind
         adj_targets,
     };
     validate_loaded(&index, &trussness)?;
-    Ok((index, trussness))
+    let hierarchy = TrussHierarchy::from_forest(&index, node_level, node_parent)
+        .map_err(IndexIoError::Corrupt)?;
+    Ok((index, trussness, hierarchy))
 }
 
 /// Structural sanity after a load — rejects truncated or tampered files.
@@ -214,11 +249,14 @@ mod tests {
     fn roundtrip_preserves_everything() {
         let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(120, 25, (3, 6), 40, 2));
         let tau = et_truss::decompose_parallel(&g).trussness;
-        let built = build_index(&g, Variant::Afforest).index;
+        let build = build_index(&g, Variant::Afforest);
+        let built = build.index;
 
         let path = tmp("roundtrip.etidx");
-        write_index(&built, &tau, &path).unwrap();
-        let (loaded, tau2) = read_index(&path).unwrap();
+        write_index_with_hierarchy(&built, &tau, &build.hierarchy, &path).unwrap();
+        let (loaded, tau2, h2) = read_index_with_hierarchy(&path).unwrap();
+        assert_eq!(build.hierarchy, h2);
+        h2.check(&loaded).unwrap();
         assert_eq!(tau, tau2);
         assert_eq!(built.sn_trussness, loaded.sn_trussness);
         assert_eq!(built.sn_offsets, loaded.sn_offsets);

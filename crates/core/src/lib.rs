@@ -33,6 +33,7 @@ pub mod afforest;
 pub mod baseline;
 pub mod coptimal;
 pub mod engine;
+pub mod hierarchy;
 pub mod index;
 pub mod io;
 pub mod original;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod timings;
 pub mod validate;
 
+pub use hierarchy::{TrussHierarchy, NO_NODE};
 pub use index::{SuperGraph, NO_SUPERNODE};
 pub use original::build_original;
 pub use phi::PhiGroups;

@@ -18,6 +18,7 @@
 
 use crate::baseline::EdgeDict;
 use crate::engine::spnode_group;
+use crate::hierarchy::TrussHierarchy;
 use crate::index::SuperGraph;
 use crate::phi::PhiGroups;
 use crate::smgraph::merge_supergraph;
@@ -116,11 +117,14 @@ impl Schedule {
     }
 }
 
-/// A constructed index plus its kernel timings.
+/// A constructed index plus its query-serving hierarchy and kernel timings.
 #[derive(Clone, Debug)]
 pub struct IndexBuild {
     /// The EquiTruss summary graph.
     pub index: SuperGraph,
+    /// The merge forest over supernodes that powers O(α) community
+    /// resolution in `et-community`.
+    pub hierarchy: TrussHierarchy,
     /// Per-kernel wall-clock times.
     pub timings: KernelTimings,
 }
@@ -163,7 +167,14 @@ pub fn build_index_with_options(
         schedule,
         &mut timings,
     );
-    IndexBuild { index, timings }
+    // Hierarchy-build phase: the offline half of the query engine, timed
+    // like any other kernel (TrussHierarchy::build opens its own span).
+    let hierarchy = crate::timings::timed(&mut timings.hierarchy, || TrussHierarchy::build(&index));
+    IndexBuild {
+        index,
+        hierarchy,
+        timings,
+    }
 }
 
 /// Index construction given a precomputed trussness dictionary, under the

@@ -24,6 +24,8 @@ pub struct KernelTimings {
     pub smgraph: Duration,
     /// Dense supernode-id remapping of Π roots.
     pub spnode_remap: Duration,
+    /// Truss-hierarchy (merge forest) construction for the query engine.
+    pub hierarchy: Duration,
 }
 
 impl KernelTimings {
@@ -42,6 +44,7 @@ impl KernelTimings {
             + self.spedge
             + self.smgraph
             + self.spnode_remap
+            + self.hierarchy
     }
 
     /// `(label, duration)` rows in the paper's Fig. 4 kernel order.
@@ -54,6 +57,7 @@ impl KernelTimings {
             ("SpEdge", self.spedge),
             ("SmGraph", self.smgraph),
             ("SpNodeRemap", self.spnode_remap),
+            ("HierarchyBuild", self.hierarchy),
         ]
     }
 
@@ -82,6 +86,7 @@ impl KernelTimings {
         self.spedge += other.spedge;
         self.smgraph += other.smgraph;
         self.spnode_remap += other.spnode_remap;
+        self.hierarchy += other.hierarchy;
     }
 }
 
@@ -92,7 +97,7 @@ impl KernelTimings {
 impl serde::Serialize for KernelTimings {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeMap;
-        let mut map = serializer.serialize_map(Some(9))?;
+        let mut map = serializer.serialize_map(Some(10))?;
         map.serialize_entry("support", &self.support.as_secs_f64())?;
         map.serialize_entry("truss_decomp", &self.truss_decomp.as_secs_f64())?;
         map.serialize_entry("init", &self.init.as_secs_f64())?;
@@ -100,6 +105,7 @@ impl serde::Serialize for KernelTimings {
         map.serialize_entry("spedge", &self.spedge.as_secs_f64())?;
         map.serialize_entry("smgraph", &self.smgraph.as_secs_f64())?;
         map.serialize_entry("spnode_remap", &self.spnode_remap.as_secs_f64())?;
+        map.serialize_entry("hierarchy", &self.hierarchy.as_secs_f64())?;
         map.serialize_entry(
             "index_construction",
             &self.index_construction().as_secs_f64(),
@@ -183,10 +189,11 @@ mod tests {
             spedge: ms(16),
             smgraph: ms(32),
             spnode_remap: ms(64),
+            hierarchy: ms(128),
         };
         let field_sum: Duration = t.rows().iter().map(|&(_, d)| d).sum();
         assert_eq!(t.total(), field_sum);
-        assert_eq!(t.total(), ms(127));
+        assert_eq!(t.total(), ms(255));
         assert_eq!(t.index_construction(), t.spnode + t.spedge + t.smgraph);
         assert_eq!(t.index_construction(), ms(56));
     }

@@ -25,4 +25,4 @@ pub use barabasi_albert::barabasi_albert;
 pub use erdos_renyi::{gnm, gnp};
 pub use planted::{overlapping_cliques, planted_partition, PlantedConfig};
 pub use profiles::{profile_by_name, DatasetProfile, PROFILE_NAMES};
-pub use rmat::{rmat, rmat_small, RmatConfig};
+pub use rmat::{rmat, rmat_small, rmat_with_cliques, RmatConfig};

@@ -44,7 +44,7 @@ fn main() {
         .expect("non-empty graph");
     let k = 4;
     let t2 = Instant::now();
-    let teams = query_communities(&graph, &build.index, author, k);
+    let teams = query_communities(&graph, &build.index, &build.hierarchy, author, k);
     let t_query_equi = t2.elapsed();
     let t3 = Instant::now();
     let tcp_teams = tcp.query(&graph, &decomposition.trussness, author, k);

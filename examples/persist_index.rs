@@ -29,7 +29,8 @@ fn main() {
         build.index.num_superedges()
     );
     graph_io::write_binary(graph.graph(), &graph_path).expect("save graph");
-    index_io::write_index(&build.index, &tau, &index_path).expect("save index");
+    index_io::write_index_with_hierarchy(&build.index, &tau, &build.hierarchy, &index_path)
+        .expect("save index");
     println!(
         "persisted: {} (graph) + {} (index) bytes",
         std::fs::metadata(&graph_path).unwrap().len(),
@@ -39,14 +40,18 @@ fn main() {
     // ---- "later session": reload and query ---------------------------------
     let t1 = Instant::now();
     let graph2 = EdgeIndexedGraph::new(graph_io::read_binary(&graph_path).expect("load graph"));
-    let (index2, _tau2) = index_io::read_index(&index_path).expect("load index");
-    println!("\nreloaded graph + index in {:.2?}", t1.elapsed());
+    let (index2, _tau2, hierarchy2) =
+        index_io::read_index_with_hierarchy(&index_path).expect("load index");
+    println!(
+        "\nreloaded graph + index + hierarchy in {:.2?}",
+        t1.elapsed()
+    );
 
     let q = (0..graph2.num_vertices() as u32)
         .max_by_key(|&u| graph2.degree(u))
         .unwrap();
     let t2 = Instant::now();
-    let communities = query_communities(&graph2, &index2, q, 4);
+    let communities = query_communities(&graph2, &index2, &hierarchy2, q, 4);
     println!(
         "query(v={q}, k=4): {} community(ies) in {:.2?} — no reconstruction needed",
         communities.len(),
@@ -54,7 +59,7 @@ fn main() {
     );
 
     // The reloaded index answers identically to the in-memory one.
-    let fresh = query_communities(&graph, &build.index, q, 4);
+    let fresh = query_communities(&graph, &build.index, &build.hierarchy, q, 4);
     assert_eq!(
         fresh.iter().map(|c| &c.edges).collect::<Vec<_>>(),
         communities.iter().map(|c| &c.edges).collect::<Vec<_>>()

@@ -1,14 +1,14 @@
 //! Edge cases and failure injection across the whole stack.
 
-use parallel_equitruss::community::{query_communities, CommunityIndex};
-use parallel_equitruss::equitruss::{build_index, io as index_io, IndexStats, Variant};
+use parallel_equitruss::community::{query_communities, query_communities_bfs, CommunityIndex};
+use parallel_equitruss::equitruss::{build_index, io as index_io, IndexBuild, IndexStats, Variant};
 use parallel_equitruss::graph::{io as graph_io, CsrGraph, EdgeIndexedGraph, GraphBuilder};
 use parallel_equitruss::truss::{decompose_parallel, decompose_serial};
 
-fn all_variants(graph: &EdgeIndexedGraph) -> Vec<parallel_equitruss::equitruss::SuperGraph> {
+fn all_variants(graph: &EdgeIndexedGraph) -> Vec<IndexBuild> {
     Variant::ALL
         .iter()
-        .map(|&v| build_index(graph, v).index)
+        .map(|&v| build_index(graph, v))
         .collect()
 }
 
@@ -16,10 +16,12 @@ fn all_variants(graph: &EdgeIndexedGraph) -> Vec<parallel_equitruss::equitruss::
 fn empty_graph_everywhere() {
     let g = EdgeIndexedGraph::new(CsrGraph::empty(0));
     assert!(decompose_parallel(&g).trussness.is_empty());
-    for idx in all_variants(&g) {
-        assert_eq!(idx.num_supernodes(), 0);
-        assert_eq!(idx.num_superedges(), 0);
-        assert!(query_communities(&g, &idx, 0, 3).is_empty());
+    for b in all_variants(&g) {
+        assert_eq!(b.index.num_supernodes(), 0);
+        assert_eq!(b.index.num_superedges(), 0);
+        assert_eq!(b.hierarchy.num_nodes(), 0);
+        assert!(query_communities(&g, &b.index, &b.hierarchy, 0, 3).is_empty());
+        assert!(query_communities_bfs(&g, &b.index, 0, 3).is_empty());
     }
 }
 
@@ -28,9 +30,9 @@ fn single_edge_graph() {
     let g = EdgeIndexedGraph::new(GraphBuilder::from_edges(2, &[(0, 1)]).build());
     let d = decompose_parallel(&g);
     assert_eq!(d.trussness, vec![2]);
-    for idx in all_variants(&g) {
-        assert_eq!(idx.num_supernodes(), 0);
-        let s = IndexStats::compute(&idx);
+    for b in all_variants(&g) {
+        assert_eq!(b.index.num_supernodes(), 0);
+        let s = IndexStats::compute(&b.index);
         assert_eq!(s.unindexed_edges, 1);
     }
 }
@@ -41,8 +43,8 @@ fn star_graph_has_no_truss() {
     let g = EdgeIndexedGraph::new(GraphBuilder::from_edges(50, &edges).build());
     let d = decompose_parallel(&g);
     assert!(d.trussness.iter().all(|&t| t == 2));
-    for idx in all_variants(&g) {
-        assert_eq!(idx.num_supernodes(), 0);
+    for b in all_variants(&g) {
+        assert_eq!(b.index.num_supernodes(), 0);
     }
 }
 
@@ -57,11 +59,12 @@ fn disconnected_components_index_independently() {
         b.add_edge(base, base + 2);
     }
     let g = EdgeIndexedGraph::new(b.build());
-    for idx in all_variants(&g) {
-        assert_eq!(idx.num_supernodes(), 3);
-        assert_eq!(idx.num_superedges(), 0);
+    for b in all_variants(&g) {
+        assert_eq!(b.index.num_supernodes(), 3);
+        assert_eq!(b.index.num_superedges(), 0);
         // A query from one triangle never leaks into another.
-        let cs = query_communities(&g, &idx, 0, 3);
+        let cs = query_communities(&g, &b.index, &b.hierarchy, 0, 3);
+        assert_eq!(cs, query_communities_bfs(&g, &b.index, 0, 3));
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].edges.len(), 3);
     }
@@ -70,8 +73,9 @@ fn disconnected_components_index_independently() {
 #[test]
 fn very_high_k_query_is_empty_not_crashing() {
     let g = EdgeIndexedGraph::new(et_gen_clique(6));
-    let idx = build_index(&g, Variant::Afforest).index;
-    assert!(query_communities(&g, &idx, 0, 1_000_000).is_empty());
+    let b = build_index(&g, Variant::Afforest);
+    assert!(query_communities(&g, &b.index, &b.hierarchy, 0, 1_000_000).is_empty());
+    assert!(query_communities_bfs(&g, &b.index, 0, 1_000_000).is_empty());
 }
 
 fn et_gen_clique(k: usize) -> CsrGraph {
@@ -111,9 +115,9 @@ fn vertex_ids_near_u32_boundary() {
     );
     let d = decompose_parallel(&g);
     assert_eq!(d.max_trussness, 3);
-    let idx = build_index(&g, Variant::COptimal).index;
-    assert_eq!(idx.num_supernodes(), 1);
-    let cs = query_communities(&g, &idx, hi, 3);
+    let b = build_index(&g, Variant::COptimal);
+    assert_eq!(b.index.num_supernodes(), 1);
+    let cs = query_communities(&g, &b.index, &b.hierarchy, hi, 3);
     assert_eq!(cs.len(), 1);
 }
 

@@ -1,7 +1,9 @@
 //! End-to-end integration: generators → truss → index → queries, across
 //! crates, on every dataset profile.
 
-use parallel_equitruss::community::{ground_truth, query_communities, TcpIndex};
+use parallel_equitruss::community::{
+    ground_truth, query_communities, query_communities_bfs, TcpIndex,
+};
 use parallel_equitruss::equitruss::{
     build_index, build_index_with_decomposition, build_original, KernelTimings, Variant,
 };
@@ -42,7 +44,8 @@ fn queries_agree_across_engines_on_profiles() {
     for name in ["amazon", "dblp"] {
         let graph = load(name);
         let decomposition = decompose_parallel(&graph);
-        let index = build_index(&graph, Variant::Afforest).index;
+        let build = build_index(&graph, Variant::Afforest);
+        let (index, hierarchy) = (build.index, build.hierarchy);
         let tcp = TcpIndex::build(&graph, &decomposition.trussness);
 
         // Probe a spread of query vertices at several k levels.
@@ -50,10 +53,13 @@ fn queries_agree_across_engines_on_profiles() {
         let kmax = decomposition.max_trussness.max(3);
         for q in (0..n).step_by((n as usize / 25).max(1)) {
             for k in [3, 4, kmax] {
-                let equi: Vec<Vec<_>> = query_communities(&graph, &index, q, k)
-                    .into_iter()
-                    .map(|c| c.edges)
-                    .collect();
+                let equi = query_communities(&graph, &index, &hierarchy, q, k);
+                assert_eq!(
+                    equi,
+                    query_communities_bfs(&graph, &index, q, k),
+                    "{name}: hierarchy vs bfs, q={q} k={k}"
+                );
+                let equi: Vec<Vec<_>> = equi.into_iter().map(|c| c.edges).collect();
                 let brute =
                     ground_truth::brute_force_communities(&graph, &decomposition.trussness, q, k);
                 assert_eq!(equi, brute, "{name}: equi vs brute, q={q} k={k}");

@@ -92,6 +92,13 @@ fn chrome_trace_has_kernel_spans_and_counters() {
     assert!(names.contains(&"SpEdge"));
     assert!(names.iter().any(|n| n.starts_with("BuildIndex(")));
 
+    // Every pipeline run ends in a hierarchy-build phase.
+    assert_eq!(
+        names.iter().filter(|n| **n == "HierarchyBuild").count(),
+        Variant::ALL.len(),
+        "missing HierarchyBuild spans in {names:?}"
+    );
+
     // Counters from every variant's inner algorithms.
     let m = &trace.metrics;
     for c in [
@@ -104,7 +111,8 @@ fn chrome_trace_has_kernel_spans_and_counters() {
         "spedge.candidates",
         "smgraph.pairs_in",
         "smgraph.pairs_out",
-        "engine.wave_width", // Φ_k groups dispatched per wave
+        "engine.wave_width",      // Φ_k groups dispatched per wave
+        "hierarchy.merge_events", // Kruskal sweep unions in HierarchyBuild
     ] {
         assert!(m.counter(c) > 0, "counter {c} is zero: {:?}", m.counters);
     }
@@ -153,6 +161,37 @@ fn bucketed_peeling_emits_counters() {
     // repair must have fired at least once.
     assert!(snap.counter("truss.bucket_repairs") > 0);
     assert!(snap.distribution("truss.frontier_len").is_some());
+}
+
+#[test]
+fn query_engines_emit_counters_and_spans() {
+    let _guard = LOCK.lock().unwrap();
+    use parallel_equitruss::community::{query_communities, query_communities_bfs};
+    let eg = EdgeIndexedGraph::new(
+        parallel_equitruss::gen::fixtures::paper_example()
+            .graph
+            .clone(),
+    );
+    let build = build_index(&eg, Variant::Afforest);
+    obs::set_enabled(true);
+    obs::reset();
+    // Vertex 6 sits in the K5 (τ = 5); at k = 3 its seeds must climb to the
+    // level-3 root, so hierarchy climbs are guaranteed.
+    let fast = query_communities(&eg, &build.index, &build.hierarchy, 6, 3);
+    let bfs = query_communities_bfs(&eg, &build.index, 6, 3);
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    let events = obs::take_events();
+    obs::reset();
+    assert_eq!(fast, bfs);
+
+    assert!(snap.counter("query.hierarchy_climbs") > 0);
+    assert!(snap.counter("query.scratch_epochs") >= 2); // one per engine run
+    assert!(snap.counter("query.seeds") > 0);
+    assert!(snap.counter("query.supernodes_visited") > 0);
+    assert!(snap.counter("query.superedges_scanned") > 0);
+    assert!(events.iter().any(|e| e.name == "Query"));
+    assert!(events.iter().any(|e| e.name == "QueryBfs"));
 }
 
 #[test]

@@ -4,10 +4,10 @@
 //! (self-loops and duplicates included — the builder must canonicalize),
 //! then assert the library's core invariants end to end.
 
-use parallel_equitruss::community::{ground_truth, query_communities};
+use parallel_equitruss::community::{ground_truth, query_communities, query_communities_bfs};
 use parallel_equitruss::equitruss::{
     build_index_with_decomposition, build_original, validate::validate_index, KernelTimings,
-    Variant, NO_SUPERNODE,
+    TrussHierarchy, Variant, NO_SUPERNODE,
 };
 use parallel_equitruss::graph::{EdgeIndexedGraph, GraphBuilder};
 use parallel_equitruss::triangle::{
@@ -113,12 +113,25 @@ proptest! {
     fn queries_match_ground_truth(graph in arb_graph(), q in 0u32..24, k in 3u32..7) {
         let d = decompose_parallel(&graph);
         let idx = build_original(&graph, &d.trussness);
-        let fast: Vec<Vec<_>> = query_communities(&graph, &idx, q, k)
-            .into_iter()
-            .map(|c| c.edges)
-            .collect();
+        let h = TrussHierarchy::build(&idx);
+        // Hierarchy engine == BFS oracle == brute force, byte for byte.
+        let fast = query_communities(&graph, &idx, &h, q, k);
+        prop_assert_eq!(&fast, &query_communities_bfs(&graph, &idx, q, k));
+        let fast: Vec<Vec<_>> = fast.into_iter().map(|c| c.edges).collect();
         let brute = ground_truth::brute_force_communities(&graph, &d.trussness, q, k);
         prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn hierarchy_partition_matches_index(graph in arb_graph()) {
+        let d = decompose_parallel(&graph);
+        let idx = build_original(&graph, &d.trussness);
+        let h = TrussHierarchy::build(&idx);
+        prop_assert!(h.check(&idx).is_ok());
+        // Serialized forest reassembles to the identical hierarchy.
+        let rebuilt = TrussHierarchy::from_forest(
+            &idx, h.node_level.clone(), h.node_parent.clone());
+        prop_assert_eq!(rebuilt.as_ref(), Ok(&h));
     }
 
     #[test]
