@@ -13,14 +13,20 @@
 //! threads — with a byte-identity assertion between the two EquiTruss
 //! engines on every query.
 //!
-//! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH] [--query-out PATH]`
+//! A fourth artifact (`BENCH_ingest.json`) times graph *loading*: the
+//! chunked parallel text parser vs the serial oracle vs the slab binary
+//! loader, in MB/s at 1 and 4 rayon threads, with a parallel == serial
+//! identity assertion on the parsed edge list.
+//!
+//! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH]
+//! [--query-out PATH] [--ingest-out PATH]`
 
 use et_community::{query_communities, query_communities_bfs, TcpIndex};
 use et_core::{
     build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, TrussHierarchy,
     Variant,
 };
-use et_graph::EdgeIndexedGraph;
+use et_graph::{io as graph_io, EdgeIndexedGraph};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
@@ -107,6 +113,29 @@ struct QueryReport {
     results: Vec<QueryRow>,
 }
 
+/// Ingest throughput of each loader at a fixed rayon pool width.
+#[derive(Serialize)]
+struct IngestThreadRow {
+    threads: usize,
+    text_serial_mbps: f64,
+    text_parallel_mbps: f64,
+    text_parallel_speedup: f64,
+    binary_mbps: f64,
+}
+
+#[derive(Serialize)]
+struct IngestReport {
+    benchmark: &'static str,
+    quick: bool,
+    reps: usize,
+    graph: String,
+    vertices: usize,
+    edges: usize,
+    text_bytes: usize,
+    binary_bytes: usize,
+    results: Vec<IngestThreadRow>,
+}
+
 fn time_ms<T>(f: &mut impl FnMut() -> T) -> f64 {
     let t0 = Instant::now();
     std::hint::black_box(f());
@@ -147,6 +176,11 @@ fn main() {
         .position(|a| a == "--query-out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_query.json".to_string());
+    let ingest_out = args
+        .iter()
+        .position(|a| a == "--ingest-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
 
     // Three regimes: a skewed R-MAT, many moderate overlapping cliques
     // (DBLP-like average structure, where the triangle-once Support kernel
@@ -446,4 +480,100 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("writing {query_out}: {e}"));
     println!("wrote {query_out}");
+
+    // ---- Ingest ------------------------------------------------------------
+    // Loading throughput on an R-MAT edge list (s16, s13 under --quick):
+    // chunked parallel text parse vs the serial oracle vs the slab binary
+    // loader, at 1 and 4 rayon threads. The parallel parser must reproduce
+    // the serial parser's EdgeList exactly, and both roundtrips must
+    // reproduce the generated graph.
+    let ingest_scale = if quick { 13 } else { 16 };
+    let ingest_graph = et_gen::rmat_small(ingest_scale, 8, 42);
+    let dir = std::env::temp_dir().join("et-bench-ingest");
+    std::fs::create_dir_all(&dir).expect("ingest scratch dir");
+    let text_path = dir.join(format!("rmat-s{ingest_scale}.txt"));
+    let bin_path = dir.join(format!("rmat-s{ingest_scale}.bin"));
+    graph_io::write_text_edge_list(&ingest_graph, &text_path).expect("write text");
+    graph_io::write_binary(&ingest_graph, &bin_path).expect("write binary");
+    let text_bytes = std::fs::read(&text_path).expect("read text back");
+    let binary_bytes = std::fs::metadata(&bin_path).expect("stat binary").len() as usize;
+
+    let serial_el = graph_io::parse_text_edge_list_serial(std::io::Cursor::new(&text_bytes[..]))
+        .expect("serial parse");
+    let parallel_el = graph_io::parse_text_edge_list_bytes(&text_bytes).expect("parallel parse");
+    assert_eq!(
+        serial_el, parallel_el,
+        "parallel text parse diverges from the serial oracle"
+    );
+    // The text format stores only edges, so trailing isolated vertices don't
+    // survive a roundtrip — compare the edge sequences, not the vertex count.
+    assert_eq!(
+        parallel_el.build().edges().collect::<Vec<_>>(),
+        ingest_graph.edges().collect::<Vec<_>>(),
+        "text roundtrip diverges from the generated graph"
+    );
+    assert_eq!(
+        graph_io::read_binary(&bin_path).expect("binary load"),
+        ingest_graph,
+        "binary roundtrip diverges from the generated graph"
+    );
+
+    let mbps = |bytes: usize, ms: f64| bytes as f64 / 1e6 / (ms / 1e3);
+    let mut ingest_rows = Vec::new();
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (serial_ms, parallel_ms) = pool.install(|| {
+            best_pair_ms(
+                reps,
+                || {
+                    graph_io::parse_text_edge_list_serial(std::io::Cursor::new(&text_bytes[..]))
+                        .expect("serial parse")
+                },
+                || graph_io::parse_text_edge_list_bytes(&text_bytes).expect("parallel parse"),
+            )
+        });
+        let binary_ms = pool.install(|| {
+            let mut load = || graph_io::read_binary(&bin_path).expect("binary load");
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                best = best.min(time_ms(&mut load));
+            }
+            best
+        });
+        println!(
+            "ingest rmat-s{ingest_scale} @{threads}t: text serial {:.0} MB/s vs parallel \
+             {:.0} MB/s ({:.2}x) | binary {:.0} MB/s",
+            mbps(text_bytes.len(), serial_ms),
+            mbps(text_bytes.len(), parallel_ms),
+            serial_ms / parallel_ms,
+            mbps(binary_bytes, binary_ms),
+        );
+        ingest_rows.push(IngestThreadRow {
+            threads,
+            text_serial_mbps: mbps(text_bytes.len(), serial_ms),
+            text_parallel_mbps: mbps(text_bytes.len(), parallel_ms),
+            text_parallel_speedup: serial_ms / parallel_ms,
+            binary_mbps: mbps(binary_bytes, binary_ms),
+        });
+    }
+    let doc = IngestReport {
+        benchmark: "graph ingest smoke",
+        quick,
+        reps,
+        graph: format!("rmat-s{ingest_scale}"),
+        vertices: ingest_graph.num_vertices(),
+        edges: ingest_graph.num_edges(),
+        text_bytes: text_bytes.len(),
+        binary_bytes,
+        results: ingest_rows,
+    };
+    std::fs::write(
+        &ingest_out,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {ingest_out}: {e}"));
+    println!("wrote {ingest_out}");
 }

@@ -25,8 +25,15 @@ pub fn dataset(name: &str, scale: f64) -> EdgeIndexedGraph {
     let dir = cache_dir();
     let key = format!("{}-s{:.4}.bin", profile.name, scale);
     let path = dir.join(key);
-    if let Ok(g) = io::read_binary(&path) {
-        return EdgeIndexedGraph::new(g);
+    // The binary loader validates header counts against the file size and
+    // the decoded CSR structurally, so a truncated or corrupt cache entry
+    // surfaces as Err here — evict it and fall through to regeneration.
+    match io::read_binary(&path) {
+        Ok(g) => return EdgeIndexedGraph::new(g),
+        Err(_) if path.exists() => {
+            let _ = std::fs::remove_file(&path);
+        }
+        Err(_) => {}
     }
     let g = profile.generate(scale);
     if std::fs::create_dir_all(&dir).is_ok() {
@@ -52,8 +59,12 @@ pub const TABLE5_FIVE: [&str; 5] = ["amazon", "dblp", "youtube", "livejournal", 
 mod tests {
     use super::*;
 
+    /// Serializes tests that point `ET_DATASET_DIR` at scratch space.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn caches_and_reloads_identically() {
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var(
             "ET_DATASET_DIR",
             std::env::temp_dir().join("et-datasets-test"),
@@ -68,5 +79,23 @@ mod tests {
     #[should_panic(expected = "unknown dataset")]
     fn unknown_name_panics() {
         dataset("nope", 1.0);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_evicted_and_regenerated() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("et-datasets-corrupt-test");
+        std::env::set_var("ET_DATASET_DIR", &dir);
+        let fresh = dataset("dblp", 1.0 / 128.0);
+        let path = dir.join("dblp-s0.0078.bin");
+        assert!(path.exists(), "cache entry written");
+        // Truncate the cached file; the next load must not trust it.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let reloaded = dataset("dblp", 1.0 / 128.0);
+        assert_eq!(fresh.graph(), reloaded.graph());
+        // And the cache was healed (full-size file again).
+        assert_eq!(std::fs::read(&path).unwrap().len(), bytes.len());
+        std::env::remove_var("ET_DATASET_DIR");
     }
 }

@@ -23,14 +23,14 @@ use std::path::Path;
 pub type CliResult = Result<String, String>;
 
 /// Loads a graph from a text edge list (`.txt`) or binary (`.bin`) file.
+///
+/// Both paths go through `et_graph`'s parallel validated ingest pipeline:
+/// text files are chunk-parsed across the rayon pool (malformed lines keep
+/// exact line numbers), and binary headers are validated against the actual
+/// file size before anything is allocated.
 pub fn load_graph(path: &Path) -> Result<EdgeIndexedGraph, String> {
-    let g = if path.extension().is_some_and(|e| e == "bin") {
-        graph_io::read_binary(path).map_err(|e| format!("cannot load {}: {e}", path.display()))?
-    } else {
-        graph_io::read_text_edge_list(path)
-            .map_err(|e| format!("cannot load {}: {e}", path.display()))?
-            .build()
-    };
+    let g =
+        graph_io::read_graph(path).map_err(|e| format!("cannot load {}: {e}", path.display()))?;
     EdgeIndexedGraph::try_new(g).map_err(|e| format!("cannot index graph: {e}"))
 }
 

@@ -6,6 +6,13 @@
 //! compact little-endian binary format. The format embeds array lengths and
 //! a magic/version header; loads are validated structurally before use.
 //!
+//! I/O is slab-based: writes encode into bounded buffers (one bulk write
+//! per ~64Ki elements), and loads read the whole file once and decode from
+//! the in-memory slab. Every embedded array length is checked against both
+//! a sanity cap (`LEN_CAP`) and the bytes actually remaining in the file
+//! *before* any allocation, so corrupt or truncated files produce a
+//! [`IndexIoError::Corrupt`] — never an allocation sized by untrusted data.
+//!
 //! Version 2 appends the truss hierarchy's forest arrays (node levels +
 //! parent pointers); the derived arrays (DFS leaf order, aggregates) are
 //! recomputed deterministically on load, so the file stays compact and a
@@ -13,7 +20,7 @@
 
 use crate::hierarchy::TrussHierarchy;
 use crate::index::SuperGraph;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ETIDXv02";
@@ -44,6 +51,9 @@ impl From<std::io::Error> for IndexIoError {
     }
 }
 
+/// Elements encoded per bulk `write_all` by the writers.
+const ENCODE_CHUNK: usize = 1 << 16;
+
 fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), IndexIoError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
@@ -51,54 +61,100 @@ fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), IndexIoError> {
 
 fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> Result<(), IndexIoError> {
     write_u64(w, s.len() as u64)?;
-    for &x in s {
-        w.write_all(&x.to_le_bytes())?;
+    // Bounded slab encode: one bulk write per chunk, not one per element.
+    let mut buf = Vec::with_capacity(4 * ENCODE_CHUNK.min(s.len().max(1)));
+    for block in s.chunks(ENCODE_CHUNK) {
+        buf.clear();
+        for &x in block {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        w.write_all(&buf)?;
     }
     Ok(())
 }
 
 fn write_usize_slice<W: Write>(w: &mut W, s: &[usize]) -> Result<(), IndexIoError> {
     write_u64(w, s.len() as u64)?;
-    for &x in s {
-        w.write_all(&(x as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(8 * ENCODE_CHUNK.min(s.len().max(1)));
+    for block in s.chunks(ENCODE_CHUNK) {
+        buf.clear();
+        for &x in block {
+            buf.extend_from_slice(&(x as u64).to_le_bytes());
+        }
+        w.write_all(&buf)?;
     }
     Ok(())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, IndexIoError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+/// Cursor over an in-memory slab of the whole index file.
+///
+/// Every array read cross-checks the claimed length against the bytes that
+/// actually remain *before* allocating, so a corrupt length field can never
+/// trigger an allocation larger than the file itself.
+struct SliceReader<'a> {
+    buf: &'a [u8],
 }
 
-fn read_u32_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u32>, IndexIoError> {
-    let len = read_u64(r)?;
-    if len > cap {
-        return Err(IndexIoError::Corrupt(format!(
-            "array length {len} exceeds sanity cap {cap}"
-        )));
+impl<'a> SliceReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IndexIoError> {
+        if self.buf.len() < n {
+            return Err(IndexIoError::Corrupt(format!(
+                "unexpected end of file: need {n} bytes, {} remain",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
     }
-    let mut out = Vec::with_capacity(len as usize);
-    let mut b = [0u8; 4];
-    for _ in 0..len {
-        r.read_exact(&mut b)?;
-        out.push(u32::from_le_bytes(b));
-    }
-    Ok(out)
-}
 
-fn read_usize_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<usize>, IndexIoError> {
-    let len = read_u64(r)?;
-    if len > cap {
-        return Err(IndexIoError::Corrupt(format!(
-            "array length {len} exceeds sanity cap {cap}"
-        )));
+    fn read_u64(&mut self) -> Result<u64, IndexIoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
-    let mut out = Vec::with_capacity(len as usize);
-    for _ in 0..len {
-        out.push(read_u64(r)? as usize);
+
+    /// Reads a length, validates it against the sanity cap and the
+    /// remaining bytes (4 per element), then bulk-decodes.
+    fn read_u32_vec(&mut self, cap: u64) -> Result<Vec<u32>, IndexIoError> {
+        let len = self.checked_len(cap, 4)?;
+        let raw = self.take(len * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
     }
-    Ok(out)
+
+    /// Reads a length, validates it against the sanity cap and the
+    /// remaining bytes (8 per element), then bulk-decodes.
+    fn read_usize_vec(&mut self, cap: u64) -> Result<Vec<usize>, IndexIoError> {
+        let len = self.checked_len(cap, 8)?;
+        let raw = self.take(len * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+            .collect())
+    }
+
+    /// Reads an array length and rejects it — before any allocation — when
+    /// it exceeds `cap` or when `elem_size * len` overruns the remaining
+    /// bytes.
+    fn checked_len(&mut self, cap: u64, elem_size: u64) -> Result<usize, IndexIoError> {
+        let len = self.read_u64()?;
+        if len > cap {
+            return Err(IndexIoError::Corrupt(format!(
+                "array length {len} exceeds sanity cap {cap}"
+            )));
+        }
+        let need = len * elem_size; // no overflow: len <= cap = 2^30
+        if need > self.buf.len() as u64 {
+            return Err(IndexIoError::Corrupt(format!(
+                "array of {len} elements needs {need} bytes, {} remain",
+                self.buf.len()
+            )));
+        }
+        Ok(len as usize)
+    }
 }
 
 /// Sanity cap for array lengths read from disk (1 billion entries).
@@ -156,34 +212,39 @@ pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Vec<u32>), Ind
 pub fn read_index_with_hierarchy<P: AsRef<Path>>(
     path: P,
 ) -> Result<(SuperGraph, Vec<u32>, TrussHierarchy), IndexIoError> {
-    let file = std::fs::File::open(path)?;
-    let mut r = BufReader::new(file);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    // One bulk read of the whole file — the slab size is the real file
+    // size, never a value claimed by the (untrusted) content.
+    let bytes = std::fs::read(path)?;
+    let mut r = SliceReader { buf: &bytes };
+    if r.take(8)? != MAGIC {
         return Err(IndexIoError::Corrupt("bad magic".into()));
     }
-    let trussness = read_u32_vec(&mut r, LEN_CAP)?;
-    let sn_trussness = read_u32_vec(&mut r, LEN_CAP)?;
-    let sn_offsets = read_usize_vec(&mut r, LEN_CAP)?;
-    let sn_members = read_u32_vec(&mut r, LEN_CAP)?;
-    let edge_supernode = read_u32_vec(&mut r, LEN_CAP)?;
-    let n_se = read_u64(&mut r)?;
-    if n_se > LEN_CAP {
-        return Err(IndexIoError::Corrupt("superedge count".into()));
+    let trussness = r.read_u32_vec(LEN_CAP)?;
+    let sn_trussness = r.read_u32_vec(LEN_CAP)?;
+    let sn_offsets = r.read_usize_vec(LEN_CAP)?;
+    let sn_members = r.read_u32_vec(LEN_CAP)?;
+    let edge_supernode = r.read_u32_vec(LEN_CAP)?;
+    let n_se = r.checked_len(LEN_CAP, 8)?;
+    let raw_se = r.take(n_se * 8)?;
+    let superedges: Vec<(u32, u32)> = raw_se
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+            )
+        })
+        .collect();
+    let adj_offsets = r.read_usize_vec(LEN_CAP)?;
+    let adj_targets = r.read_u32_vec(LEN_CAP)?;
+    let node_level = r.read_u32_vec(LEN_CAP)?;
+    let node_parent = r.read_u32_vec(LEN_CAP)?;
+    if !r.buf.is_empty() {
+        return Err(IndexIoError::Corrupt(format!(
+            "{} trailing bytes after the hierarchy section",
+            r.buf.len()
+        )));
     }
-    let mut superedges = Vec::with_capacity(n_se as usize);
-    let mut b = [0u8; 4];
-    for _ in 0..n_se {
-        r.read_exact(&mut b)?;
-        let a = u32::from_le_bytes(b);
-        r.read_exact(&mut b)?;
-        superedges.push((a, u32::from_le_bytes(b)));
-    }
-    let adj_offsets = read_usize_vec(&mut r, LEN_CAP)?;
-    let adj_targets = read_u32_vec(&mut r, LEN_CAP)?;
-    let node_level = read_u32_vec(&mut r, LEN_CAP)?;
-    let node_parent = read_u32_vec(&mut r, LEN_CAP)?;
 
     let index = SuperGraph {
         sn_trussness,
@@ -292,6 +353,36 @@ mod tests {
             std::fs::write(&path2, &bytes[..cut]).unwrap();
             assert!(read_index(&path2).is_err(), "cut at {cut} accepted");
         }
+    }
+
+    #[test]
+    fn rejects_length_beyond_remaining_bytes() {
+        // Magic plus a trussness-array length of 2^20 (within LEN_CAP) in a
+        // 20-byte file: must be rejected by the remaining-bytes cross-check
+        // before any 4 MiB allocation happens.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        let path = tmp("overlong.etidx");
+        std::fs::write(&path, &bytes).unwrap();
+        match read_index(&path) {
+            Err(IndexIoError::Corrupt(m)) => assert!(m.contains("remain"), "message: {m}"),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let g = EdgeIndexedGraph::new(et_gen::fixtures::paper_example().graph.clone());
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let built = build_index(&g, Variant::Afforest).index;
+        let path = tmp("padded.etidx");
+        write_index(&built, &tau, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_index(&path), Err(IndexIoError::Corrupt(_))));
     }
 
     #[test]

@@ -32,6 +32,15 @@ impl CsrGraph {
         g
     }
 
+    /// Fallible counterpart of [`CsrGraph::from_raw`] for untrusted inputs
+    /// (e.g. binary files): runs [`CsrGraph::validate`] before the graph is
+    /// handed out, in release builds too.
+    pub fn try_from_raw(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Self, String> {
+        let g = CsrGraph { offsets, neighbors };
+        g.validate()?;
+        Ok(g)
+    }
+
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
         CsrGraph {
@@ -155,6 +164,11 @@ impl CsrGraph {
         for u in 0..n {
             if self.offsets[u] > self.offsets[u + 1] {
                 return Err(format!("offsets decrease at row {u}"));
+            }
+            // Bounds before slicing: a later out-of-range offset must be a
+            // validation error, not a panic (untrusted binary loads).
+            if self.offsets[u + 1] > self.neighbors.len() {
+                return Err(format!("offset at row {u} exceeds neighbors.len()"));
             }
             let row = &self.neighbors[self.offsets[u]..self.offsets[u + 1]];
             for w in row.windows(2) {

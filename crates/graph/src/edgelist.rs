@@ -6,11 +6,34 @@ use crate::{CsrGraph, GraphBuilder, VertexId};
 ///
 /// Useful for generators and I/O, which naturally produce edge streams before
 /// the CSR form exists.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The list tracks whether its declared vertex count is known to cover every
+/// endpoint (see [`EdgeList::is_fitted`]), so loaders that already scanned
+/// the edges — like the parallel text parser — don't pay a second O(E)
+/// [`EdgeList::fit_vertices`] pass inside [`EdgeList::build`].
+#[derive(Clone, Debug)]
 pub struct EdgeList {
     num_vertices: usize,
     edges: Vec<(VertexId, VertexId)>,
+    /// Whether `num_vertices` is known to cover every endpoint in `edges`.
+    fitted: bool,
 }
+
+impl Default for EdgeList {
+    fn default() -> Self {
+        EdgeList::new(0)
+    }
+}
+
+// `fitted` is a cache, not content: two lists with the same vertices and
+// edges are equal regardless of whether either has been fitted.
+impl PartialEq for EdgeList {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vertices == other.num_vertices && self.edges == other.edges
+    }
+}
+
+impl Eq for EdgeList {}
 
 impl EdgeList {
     /// An empty list over `n` vertices.
@@ -18,6 +41,7 @@ impl EdgeList {
         EdgeList {
             num_vertices,
             edges: Vec::new(),
+            fitted: true,
         }
     }
 
@@ -26,6 +50,24 @@ impl EdgeList {
         EdgeList {
             num_vertices,
             edges,
+            fitted: false,
+        }
+    }
+
+    /// Wraps an edge vector whose endpoints the caller has already scanned:
+    /// `num_vertices` must cover every endpoint. Skips the O(E) re-scan in
+    /// [`EdgeList::fit_vertices`] / [`EdgeList::build`].
+    pub(crate) fn from_vec_fitted(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        debug_assert!(
+            edges
+                .iter()
+                .all(|&(u, v)| (u as usize) < num_vertices && (v as usize) < num_vertices),
+            "from_vec_fitted called with uncovered endpoints"
+        );
+        EdgeList {
+            num_vertices,
+            edges,
+            fitted: true,
         }
     }
 
@@ -49,14 +91,29 @@ impl EdgeList {
         self.edges.is_empty()
     }
 
+    /// Whether the declared vertex count is known to cover every endpoint
+    /// (in which case [`EdgeList::fit_vertices`] is a no-op).
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
     /// Appends an edge (unchecked; canonicalization happens in
     /// [`EdgeList::build`]).
     pub fn push(&mut self, u: VertexId, v: VertexId) {
+        // Stay fitted when the new endpoints are already covered, so
+        // loaders that interleave pushes and fits don't re-scan.
+        self.fitted = self.fitted && (u.max(v) as usize) < self.num_vertices;
         self.edges.push((u, v));
     }
 
     /// Grows the declared vertex count to cover every referenced endpoint.
+    ///
+    /// Idempotent-cheap: once fitted (and until a push introduces an
+    /// uncovered endpoint), repeated calls skip the O(E) scan.
     pub fn fit_vertices(&mut self) {
+        if self.fitted {
+            return;
+        }
         let max = self
             .edges
             .iter()
@@ -64,6 +121,7 @@ impl EdgeList {
             .max()
             .unwrap_or(0);
         self.num_vertices = self.num_vertices.max(max);
+        self.fitted = true;
     }
 
     /// Canonicalizes into a simple undirected [`CsrGraph`].
@@ -109,5 +167,42 @@ mod tests {
         assert_eq!(el.num_vertices(), 3);
         assert_eq!(el.len(), 2);
         assert!(!el.is_empty());
+    }
+
+    #[test]
+    fn fitted_state_tracks_coverage() {
+        let mut el = EdgeList::new(4);
+        assert!(el.is_fitted(), "empty list is trivially fitted");
+        el.push(0, 3); // covered: stays fitted
+        assert!(el.is_fitted());
+        el.push(0, 4); // uncovered: needs a re-fit
+        assert!(!el.is_fitted());
+        el.fit_vertices();
+        assert!(el.is_fitted());
+        assert_eq!(el.num_vertices(), 5);
+        // Fitting again is a no-op and keeps the state.
+        el.fit_vertices();
+        assert!(el.is_fitted());
+        assert_eq!(el.num_vertices(), 5);
+    }
+
+    #[test]
+    fn from_vec_fitted_skips_rescan_but_matches() {
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        let a = EdgeList::from_vec(3, edges.clone());
+        let b = EdgeList::from_vec_fitted(3, edges);
+        assert!(!a.is_fitted());
+        assert!(b.is_fitted());
+        assert_eq!(a, b, "fitted flag is not content");
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn equality_ignores_fitted_flag() {
+        let mut a = EdgeList::new(0);
+        a.push(0, 1);
+        a.fit_vertices();
+        let b = EdgeList::from_vec(2, vec![(0, 1)]);
+        assert_eq!(a, b);
     }
 }
