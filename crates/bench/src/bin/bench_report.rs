@@ -1,0 +1,201 @@
+//! Bench regression gate CLI: diffs the current smoke artifacts
+//! (`BENCH_support/index/query/ingest.json`) against a committed combined
+//! baseline (`BASELINE_bench.json`) and prints a per-metric delta table.
+//!
+//! Usage:
+//!   bench_report [--baseline PATH] [--threshold PCT] [--strict]
+//!                [--allow-meta-mismatch] [--write-baseline PATH]
+//!                [--support PATH] [--index PATH] [--query PATH] [--ingest PATH]
+//!
+//! Exit codes: `0` — no regression (or regressions found but `--strict` not
+//! set: warn-only, the CI default while baselines season); `1` — at least
+//! one gated metric regressed past the threshold under `--strict`; `2` —
+//! usage or compatibility error (missing files, malformed JSON, or a meta
+//! mismatch such as diffing a 1-thread run against a 4-thread baseline).
+
+use et_bench::gate;
+use serde_json::{Map, Value};
+use std::process::ExitCode;
+
+/// The four smoke artifacts, as `(combined-doc key, default path)`.
+const SECTIONS: [(&str, &str); 4] = [
+    ("support", "BENCH_support.json"),
+    ("index", "BENCH_index.json"),
+    ("query", "BENCH_query.json"),
+    ("ingest", "BENCH_ingest.json"),
+];
+
+struct Args {
+    baseline: String,
+    write_baseline: Option<String>,
+    threshold_pct: f64,
+    strict: bool,
+    allow_meta_mismatch: bool,
+    section_paths: Vec<(&'static str, String)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "BASELINE_bench.json".to_string(),
+        write_baseline: None,
+        threshold_pct: 25.0,
+        strict: false,
+        allow_meta_mismatch: false,
+        section_paths: SECTIONS
+            .iter()
+            .map(|&(key, path)| (key, path.to_string()))
+            .collect(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--baseline" => args.baseline = value_of("--baseline")?,
+            "--write-baseline" => args.write_baseline = Some(value_of("--write-baseline")?),
+            "--threshold" => {
+                args.threshold_pct = value_of("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--strict" => args.strict = true,
+            "--allow-meta-mismatch" => args.allow_meta_mismatch = true,
+            "--support" | "--index" | "--query" | "--ingest" => {
+                let key = &arg[2..];
+                let path = value_of(&arg)?;
+                for slot in &mut args.section_paths {
+                    if slot.0 == key {
+                        slot.1 = path.clone();
+                    }
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Loads every smoke artifact that exists into one combined document,
+/// hoisting the first artifact's `meta` stamp to the top level (after
+/// checking the stamps agree with each other).
+fn load_current(paths: &[(&'static str, String)]) -> Result<Value, String> {
+    // Wraps a meta stamp the way `check_meta` expects ({"meta": stamp}).
+    let wrap_meta = |stamp: &Value| {
+        let mut obj = Map::new();
+        obj.insert("meta".to_string(), stamp.clone());
+        Value::Object(obj)
+    };
+    let mut combined = Map::new();
+    let mut meta: Option<Value> = None;
+    for (key, path) in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(format!("reading {path}: {e}")),
+        };
+        let doc: Value = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        if let Some(stamp) = doc.get("meta") {
+            match &meta {
+                None => meta = Some(stamp.clone()),
+                Some(first) => {
+                    let mismatches = gate::check_meta(&wrap_meta(first), &wrap_meta(stamp));
+                    if !mismatches.is_empty() {
+                        return Err(format!(
+                            "artifact {path} was produced under a different configuration \
+                             than the other artifacts: {}",
+                            mismatches.join("; ")
+                        ));
+                    }
+                }
+            }
+        }
+        combined.insert(key.to_string(), doc);
+    }
+    if combined.is_empty() {
+        return Err(format!(
+            "no smoke artifacts found (looked for {}) — run bench_smoke first",
+            paths
+                .iter()
+                .map(|(_, p)| p.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if let Some(stamp) = meta {
+        combined.insert("meta".to_string(), stamp);
+    }
+    Ok(Value::Object(combined))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let current = load_current(&args.section_paths)?;
+
+    if let Some(out) = &args.write_baseline {
+        let text = serde_json::to_string_pretty(&current).expect("combined doc serializes");
+        std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote baseline {out}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let text = std::fs::read_to_string(&args.baseline).map_err(|e| {
+        format!(
+            "reading baseline {}: {e} (generate one with --write-baseline)",
+            args.baseline
+        )
+    })?;
+    let baseline: Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", args.baseline))?;
+
+    let meta_errors = gate::check_meta(&baseline, &current);
+    if !meta_errors.is_empty() {
+        if args.allow_meta_mismatch {
+            for e in &meta_errors {
+                println!("warning (ignored by --allow-meta-mismatch): {e}");
+            }
+        } else {
+            return Err(format!(
+                "refusing to diff incompatible runs:\n  {}\n\
+                 (pass --allow-meta-mismatch to compare anyway)",
+                meta_errors.join("\n  ")
+            ));
+        }
+    }
+
+    let report = gate::compare(
+        &gate::flatten_metrics(&baseline),
+        &gate::flatten_metrics(&current),
+        args.threshold_pct,
+    );
+    print!("{}", report.render(15));
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        println!(
+            "gate: no regression past {:.0}% across {} metrics",
+            args.threshold_pct,
+            report.rows.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "gate: {} metric(s) regressed past {:.0}% vs {}",
+        regressions.len(),
+        args.threshold_pct,
+        args.baseline
+    );
+    if args.strict {
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("gate: warn-only (pass --strict to fail the build on regressions)");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("bench_report: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -20,6 +20,12 @@
 //!
 //! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH]
 //! [--query-out PATH] [--ingest-out PATH]`
+//!
+//! Every artifact carries a `meta` stamp (dataset suite, thread count, git
+//! revision, `--quick` flag, ET_TRACE/ET_MEM state) so the `bench_report`
+//! gate can refuse to diff incompatible runs. With `ET_TRACE=1` the index
+//! rows additionally report the median SpNode/SpEdge wave load imbalance,
+//! and with `ET_MEM=1` the peak per-kernel memory footprint.
 
 use et_community::{query_communities, query_communities_bfs, TcpIndex};
 use et_core::{
@@ -30,6 +36,57 @@ use et_graph::{io as graph_io, EdgeIndexedGraph};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
+
+/// Provenance stamp attached to every artifact so the `bench_report` gate
+/// can refuse apples-to-oranges diffs (different thread count, dataset
+/// suite, or `--quick` mode) and attribute numbers to a commit.
+#[derive(Clone, Serialize)]
+struct BenchMeta {
+    /// Name of the generated dataset suite (bump when the generators or
+    /// their parameters change — old baselines stop being comparable).
+    dataset_suite: &'static str,
+    threads: usize,
+    quick: bool,
+    git_rev: String,
+    /// Whether `ET_TRACE` tracing was live (adds overhead to every number).
+    traced: bool,
+    /// Whether `ET_MEM` allocation tracking was live.
+    mem_tracked: bool,
+}
+
+impl BenchMeta {
+    fn capture(quick: bool) -> Self {
+        BenchMeta {
+            dataset_suite: "synthetic-smoke-v1",
+            threads: rayon::current_num_threads(),
+            quick,
+            git_rev: git_rev(),
+            traced: et_obs::enabled(),
+            mem_tracked: et_obs::mem_tracking_active(),
+        }
+    }
+}
+
+/// Current commit: `GITHUB_SHA` in CI, `git rev-parse` locally.
+fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if sha.len() >= 12 && sha.is_ascii() {
+            return sha[..12].to_string();
+        }
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 #[derive(Serialize)]
 struct GraphRow {
@@ -47,6 +104,7 @@ struct GraphRow {
 #[derive(Serialize)]
 struct Report {
     benchmark: &'static str,
+    meta: BenchMeta,
     quick: bool,
     threads: usize,
     reps: usize,
@@ -61,6 +119,17 @@ struct IndexRow {
     spnode_ms: f64,
     spedge_ms: f64,
     index_construction_ms: f64,
+    /// Median `max/mean` busy-time ratio (×1000) across SpNode waves —
+    /// present only when `ET_TRACE` was live and the wave schedule ran.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    spnode_imbalance_x1000: Option<u64>,
+    /// As above, for SpEdge waves.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    spedge_imbalance_x1000: Option<u64>,
+    /// Largest per-kernel peak footprint of the best rep — present only
+    /// when `ET_MEM` allocation tracking was live.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    mem_peak_bytes: Option<u64>,
 }
 
 /// The number of Φ_k groups per graph — the width of each SpNode/SpEdge
@@ -75,6 +144,7 @@ struct WaveWidth {
 #[derive(Serialize)]
 struct IndexReport {
     benchmark: &'static str,
+    meta: BenchMeta,
     quick: bool,
     threads: usize,
     reps: usize,
@@ -108,6 +178,7 @@ struct QueryRow {
 #[derive(Serialize)]
 struct QueryReport {
     benchmark: &'static str,
+    meta: BenchMeta,
     quick: bool,
     reps: usize,
     results: Vec<QueryRow>,
@@ -126,6 +197,7 @@ struct IngestThreadRow {
 #[derive(Serialize)]
 struct IngestReport {
     benchmark: &'static str,
+    meta: BenchMeta,
     quick: bool,
     reps: usize,
     graph: String,
@@ -159,8 +231,13 @@ fn best_pair_ms<A, B>(
 }
 
 fn main() {
+    // Honour ET_TRACE / ET_MEM so the artifacts can carry span, wave, and
+    // memory telemetry when asked for (both default off: zero overhead).
+    et_obs::init_from_env();
+    et_obs::init_mem_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let meta = BenchMeta::capture(quick);
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -269,6 +346,7 @@ fn main() {
 
     let doc = Report {
         benchmark: "support+peeling smoke",
+        meta: meta.clone(),
         quick,
         threads: rayon::current_num_threads(),
         reps,
@@ -293,6 +371,12 @@ fn main() {
         let mut reference = None;
         for variant in Variant::ALL {
             for schedule in Schedule::ALL {
+                // Scope the global wave telemetry to this combination so the
+                // imbalance columns attribute to one (variant, schedule).
+                let observing = et_obs::enabled() || et_obs::mem_tracking_active();
+                if observing {
+                    et_obs::reset();
+                }
                 let mut best: Option<KernelTimings> = None;
                 for rep in 0..reps {
                     let mut t = KernelTimings::default();
@@ -317,6 +401,17 @@ fn main() {
                     }
                 }
                 let t = best.expect("at least one rep");
+                let (spnode_imb, spedge_imb) = if observing {
+                    let snap = et_obs::snapshot();
+                    let p50 = |name: &str| snap.distribution(name).map(|d| d.p50);
+                    (
+                        p50("par.imbalance_x1000.SpNodeWave"),
+                        p50("par.imbalance_x1000.SpEdgeWave"),
+                    )
+                } else {
+                    (None, None)
+                };
+                let mem_peak = t.mem.iter().map(|m| m.peak_bytes).max().filter(|&p| p > 0);
                 let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
                 println!(
                     "{name}: {} [{}] spnode {:.1}ms spedge {:.1}ms (index {:.1}ms)",
@@ -333,12 +428,16 @@ fn main() {
                     spnode_ms: ms(t.spnode),
                     spedge_ms: ms(t.spedge),
                     index_construction_ms: ms(t.index_construction()),
+                    spnode_imbalance_x1000: spnode_imb,
+                    spedge_imbalance_x1000: spedge_imb,
+                    mem_peak_bytes: mem_peak,
                 });
             }
         }
     }
     let doc = IndexReport {
         benchmark: "index construction smoke",
+        meta: meta.clone(),
         quick,
         threads: rayon::current_num_threads(),
         reps,
@@ -470,6 +569,7 @@ fn main() {
     }
     let doc = QueryReport {
         benchmark: "community query smoke",
+        meta: meta.clone(),
         quick,
         reps,
         results: query_rows,
@@ -561,6 +661,7 @@ fn main() {
     }
     let doc = IngestReport {
         benchmark: "graph ingest smoke",
+        meta,
         quick,
         reps,
         graph: format!("rmat-s{ingest_scale}"),

@@ -28,7 +28,8 @@ fn usage() -> ! {
          <experiment>...\n\
          experiments: {} all\n\
          --trace-out FILE  record spans + counters across all experiments and write\n\
-         \u{20}                  chrome://tracing JSON to FILE (also enabled by ET_TRACE=1)",
+         \u{20}                  chrome://tracing JSON to FILE (also enabled by ET_TRACE=1)\n\
+         ET_MEM=1          attribute allocation deltas + peaks to pipeline phases",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -86,6 +87,7 @@ fn main() -> ExitCode {
     }
 
     et_obs::init_from_env();
+    et_obs::init_mem_from_env();
     if trace_out.is_some() {
         et_obs::set_enabled(true);
     }

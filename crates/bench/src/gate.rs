@@ -1,0 +1,405 @@
+//! Bench regression gate: diffs the current smoke-bench JSON artifacts
+//! against a committed baseline and flags per-metric regressions.
+//!
+//! The smoke artifacts (`BENCH_support.json`, `BENCH_index.json`,
+//! `BENCH_query.json`, `BENCH_ingest.json`) are nested JSON documents whose
+//! rows self-identify through id fields (`graph`, `variant`, `schedule`,
+//! `threads`, `k`). [`flatten_metrics`] walks a document and turns every
+//! numeric leaf into a flat `label → value` map whose labels are stable
+//! across runs, so two runs can be diffed metric-by-metric no matter how
+//! rows are ordered.
+//!
+//! Whether a delta is a regression depends on the metric's unit, recovered
+//! from its name by [`classify`]: wall-clock and footprint metrics
+//! (`*_ms`, `*_us`, `*_bytes`, `*imbalance*`) regress upward, throughput
+//! metrics (`*_mbps`, `*_qps`, `*speedup*`) regress downward, and everything
+//! else (counts, ids) is informational and never gates.
+//!
+//! Smoke benches are tripwires, not statistics — the default threshold is
+//! deliberately loose, and the `bench_report` binary only turns a regression
+//! into a nonzero exit under `--strict`.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How a metric's value relates to quality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Latency/footprint-like: an increase is a regression.
+    LowerIsBetter,
+    /// Throughput-like: a decrease is a regression.
+    HigherIsBetter,
+    /// Counts and ids: reported, never gates.
+    Informational,
+}
+
+/// Recovers a metric's [`Direction`] from the final segment of its label.
+pub fn classify(label: &str) -> Direction {
+    let leaf = label.rsplit('/').next().unwrap_or(label);
+    if leaf.contains("speedup") || leaf.ends_with("_mbps") || leaf.ends_with("_qps") {
+        Direction::HigherIsBetter
+    } else if leaf.ends_with("_ms")
+        || leaf.ends_with("_us")
+        || leaf.ends_with("us_per_query")
+        || leaf.ends_with("_bytes")
+        || leaf.contains("imbalance")
+    {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// Fields that name a row rather than measure it. Their values become part
+/// of the metric label instead of metrics of their own.
+const ID_FIELDS: [&str; 5] = ["graph", "variant", "schedule", "threads", "k"];
+
+fn id_suffix(obj: &serde_json::Map<String, Value>) -> String {
+    let mut parts = Vec::new();
+    for field in ID_FIELDS {
+        match obj.get(field) {
+            Some(Value::String(s)) => parts.push(s.clone()),
+            Some(Value::Number(n)) => parts.push(format!("{}{n}", &field[..1])),
+            _ => {}
+        }
+    }
+    parts.join("/")
+}
+
+fn flatten_into(value: &Value, path: &str, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Object(obj) => {
+            let id = id_suffix(obj);
+            let base = match (path.is_empty(), id.is_empty()) {
+                (true, _) => id,
+                (false, true) => path.to_string(),
+                (false, false) => format!("{path}/{id}"),
+            };
+            for (key, child) in obj {
+                // Id fields label the row; `meta` is compared by
+                // `check_meta`, not diffed numerically.
+                if ID_FIELDS.contains(&key.as_str()) || key == "meta" || key == "benchmark" {
+                    continue;
+                }
+                // Every report stores its rows under `results`; the rows
+                // label themselves via id fields, so the container name
+                // adds nothing (unlike nested tables such as `batch`).
+                let child_path = if key == "results" {
+                    base.clone()
+                } else if base.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{base}/{key}")
+                };
+                flatten_into(child, &child_path, out);
+            }
+        }
+        // Rows label themselves via id fields, so array position is not
+        // part of the label (reordering rows must not rename metrics).
+        Value::Array(items) => {
+            for item in items {
+                flatten_into(item, path, out);
+            }
+        }
+        Value::Number(n) => {
+            if let Some(v) = n.as_f64() {
+                out.insert(path.to_string(), v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Flattens a report document into stable `label → value` metrics.
+pub fn flatten_metrics(doc: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    flatten_into(doc, "", &mut out);
+    out
+}
+
+/// One metric's baseline/current pair in a [`GateReport`].
+#[derive(Clone, Debug)]
+pub struct DeltaRow {
+    /// Stable metric label.
+    pub label: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change in percent (`+` = current is larger).
+    pub delta_pct: f64,
+    /// The metric's gating direction.
+    pub direction: Direction,
+    /// Whether the delta crossed the threshold in the regressing direction.
+    pub regressed: bool,
+}
+
+/// Outcome of diffing a current document against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Every metric present in both documents, label-sorted.
+    pub rows: Vec<DeltaRow>,
+    /// Labels present in the baseline only.
+    pub missing_in_current: Vec<String>,
+    /// Labels present in the current run only (new metrics — fine).
+    pub new_in_current: Vec<String>,
+}
+
+impl GateReport {
+    /// Labels that regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&DeltaRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Renders the per-metric delta table (worst offenders first), listing
+    /// every regression and the `top` largest remaining movers.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let mut by_magnitude: Vec<&DeltaRow> = self.rows.iter().collect();
+        by_magnitude.sort_by(|a, b| {
+            (b.regressed, b.delta_pct.abs())
+                .partial_cmp(&(a.regressed, a.delta_pct.abs()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let width = by_magnitude
+            .iter()
+            .take(top.max(self.regressions().len()))
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>12}  {:>12}  {:>8}  {}",
+            "metric", "baseline", "current", "delta", "verdict"
+        );
+        for (i, row) in by_magnitude.iter().enumerate() {
+            if i >= top && !row.regressed {
+                let rest = by_magnitude.len() - i;
+                let _ = writeln!(out, "... {rest} more metrics within threshold");
+                break;
+            }
+            let verdict = match (row.regressed, row.direction) {
+                (true, _) => "REGRESSED",
+                (false, Direction::Informational) => "info",
+                (false, _) => "ok",
+            };
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>12.3}  {:>12.3}  {:>+7.1}%  {}",
+                row.label, row.baseline, row.current, row.delta_pct, verdict
+            );
+        }
+        for label in &self.missing_in_current {
+            let _ = writeln!(out, "missing in current run: {label}");
+        }
+        for label in &self.new_in_current {
+            let _ = writeln!(out, "new metric (no baseline): {label}");
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`. `threshold_pct` is the relative
+/// change (in percent) a gated metric may move in its regressing direction
+/// before it is flagged.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (label, &base) in baseline {
+        let Some(&cur) = current.get(label) else {
+            report.missing_in_current.push(label.clone());
+            continue;
+        };
+        let delta_pct = if base != 0.0 {
+            (cur - base) / base.abs() * 100.0
+        } else if cur == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(cur)
+        };
+        let direction = classify(label);
+        let regressed = match direction {
+            Direction::LowerIsBetter => delta_pct > threshold_pct,
+            Direction::HigherIsBetter => delta_pct < -threshold_pct,
+            Direction::Informational => false,
+        };
+        report.rows.push(DeltaRow {
+            label: label.clone(),
+            baseline: base,
+            current: cur,
+            delta_pct,
+            direction,
+            regressed,
+        });
+    }
+    for label in current.keys() {
+        if !baseline.contains_key(label) {
+            report.new_in_current.push(label.clone());
+        }
+    }
+    report
+}
+
+/// Hard incompatibilities between two runs' `meta` stamps: diffing a
+/// 1-thread run against a 4-thread baseline (or `--quick` against full)
+/// compares apples to oranges, so the gate refuses unless overridden.
+pub fn check_meta(baseline: &Value, current: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    for field in ["threads", "quick", "dataset_suite"] {
+        let b = &baseline["meta"][field];
+        let c = &current["meta"][field];
+        if b.is_null() && c.is_null() {
+            continue;
+        }
+        if b != c {
+            errors.push(format!(
+                "meta mismatch on `{field}`: baseline {b} vs current {c}"
+            ));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn classification_by_suffix() {
+        assert_eq!(classify("a/b/spnode_ms"), Direction::LowerIsBetter);
+        assert_eq!(classify("hierarchy_us_per_query"), Direction::LowerIsBetter);
+        assert_eq!(classify("rmat/mem_peak_bytes"), Direction::LowerIsBetter);
+        assert_eq!(
+            classify("rmat/spnode_imbalance_x1000"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(classify("text_parallel_mbps"), Direction::HigherIsBetter);
+        assert_eq!(classify("t4/hierarchy_qps"), Direction::HigherIsBetter);
+        assert_eq!(classify("peel_speedup"), Direction::HigherIsBetter);
+        assert_eq!(classify("reps"), Direction::Informational);
+        assert_eq!(classify("rmat/edges"), Direction::Informational);
+    }
+
+    #[test]
+    fn flatten_labels_rows_by_id_fields() {
+        let doc = json!({
+            "benchmark": "smoke",
+            "reps": 3,
+            "meta": {"threads": 4},
+            "results": [
+                {"graph": "rmat", "support_oriented_ms": 12.5, "edges": 100},
+                {"graph": "cliques", "support_oriented_ms": 7.0, "edges": 50},
+            ],
+        });
+        let m = flatten_metrics(&doc);
+        assert_eq!(m["rmat/support_oriented_ms"], 12.5);
+        assert_eq!(m["cliques/support_oriented_ms"], 7.0);
+        assert_eq!(m["rmat/edges"], 100.0);
+        assert_eq!(m["reps"], 3.0);
+        // meta and benchmark are excluded from the metric space.
+        assert!(!m.keys().any(|k| k.contains("meta") || k.contains("smoke")));
+    }
+
+    #[test]
+    fn flatten_is_row_order_independent() {
+        let a = json!({"results": [
+            {"graph": "g1", "variant": "SV", "schedule": "Wave", "spnode_ms": 1.0},
+            {"graph": "g1", "variant": "Afforest", "schedule": "Wave", "spnode_ms": 2.0},
+        ]});
+        let b = json!({"results": [
+            {"graph": "g1", "variant": "Afforest", "schedule": "Wave", "spnode_ms": 2.0},
+            {"graph": "g1", "variant": "SV", "schedule": "Wave", "spnode_ms": 1.0},
+        ]});
+        assert_eq!(flatten_metrics(&a), flatten_metrics(&b));
+        assert_eq!(flatten_metrics(&a)["g1/SV/Wave/spnode_ms"], 1.0);
+    }
+
+    #[test]
+    fn numeric_id_fields_label_nested_rows() {
+        let doc = json!({"results": [{
+            "graph": "rmat", "k": 4, "queries": 64,
+            "batch": [
+                {"threads": 1, "hierarchy_qps": 100.0},
+                {"threads": 4, "hierarchy_qps": 350.0},
+            ],
+        }]});
+        let m = flatten_metrics(&doc);
+        assert_eq!(m["rmat/k4/batch/t1/hierarchy_qps"], 100.0);
+        assert_eq!(m["rmat/k4/batch/t4/hierarchy_qps"], 350.0);
+        assert_eq!(m["rmat/k4/queries"], 64.0);
+    }
+
+    #[test]
+    fn compare_flags_only_directional_regressions() {
+        let base: BTreeMap<String, f64> = [
+            ("a/spnode_ms".to_string(), 10.0),
+            ("a/peel_speedup".to_string(), 2.0),
+            ("a/edges".to_string(), 100.0),
+        ]
+        .into_iter()
+        .collect();
+        let mut cur = base.clone();
+        // 2x slower: regression on a lower-is-better metric.
+        cur.insert("a/spnode_ms".to_string(), 20.0);
+        // Halved speedup: regression on a higher-is-better metric.
+        cur.insert("a/peel_speedup".to_string(), 1.0);
+        // Informational metrics never regress, however far they move.
+        cur.insert("a/edges".to_string(), 1.0);
+        let report = compare(&base, &cur, 25.0);
+        let labels: Vec<&str> = report
+            .regressions()
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels, ["a/peel_speedup", "a/spnode_ms"]);
+        let table = report.render(10);
+        assert!(table.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn compare_tolerates_moves_within_threshold_and_improvements() {
+        let base: BTreeMap<String, f64> =
+            [("m_ms".to_string(), 10.0), ("q_qps".to_string(), 100.0)]
+                .into_iter()
+                .collect();
+        let cur: BTreeMap<String, f64> = [
+            ("m_ms".to_string(), 12.0),   // +20% < 25% threshold
+            ("q_qps".to_string(), 500.0), // improvement, not a regression
+        ]
+        .into_iter()
+        .collect();
+        assert!(compare(&base, &cur, 25.0).regressions().is_empty());
+    }
+
+    #[test]
+    fn compare_reports_missing_and_new_metrics() {
+        let base: BTreeMap<String, f64> = [("gone_ms".to_string(), 1.0)].into_iter().collect();
+        let cur: BTreeMap<String, f64> = [("fresh_ms".to_string(), 1.0)].into_iter().collect();
+        let report = compare(&base, &cur, 25.0);
+        assert_eq!(report.missing_in_current, ["gone_ms"]);
+        assert_eq!(report.new_in_current, ["fresh_ms"]);
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn meta_mismatch_is_detected() {
+        let b = json!({"meta": {"threads": 4, "quick": true, "dataset_suite": "smoke-v1"}});
+        let mut c = b.clone();
+        assert!(check_meta(&b, &c).is_empty());
+        c["meta"]["threads"] = json!(1);
+        c["meta"]["quick"] = json!(false);
+        let errors = check_meta(&b, &c);
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].contains("threads"));
+        // git_rev may differ freely — it is not a compatibility field.
+        c = b.clone();
+        c["meta"]["git_rev"] = json!("deadbeef");
+        assert!(check_meta(&b, &c).is_empty());
+    }
+}

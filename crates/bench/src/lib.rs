@@ -23,6 +23,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod gate;
 pub mod report;
 pub mod threads;
 

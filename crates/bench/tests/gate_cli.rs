@@ -1,0 +1,132 @@
+//! End-to-end tests of the `bench_report` regression-gate binary: baseline
+//! writing, the warn-only default, `--strict` failure on a synthetic 2x
+//! regression, and the meta compatibility refusal.
+
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("et-gate-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write(dir: &Path, name: &str, doc: &Value) {
+    std::fs::write(
+        dir.join(name),
+        serde_json::to_string_pretty(doc).expect("serialize"),
+    )
+    .expect("write artifact");
+}
+
+/// A minimal but shape-faithful BENCH_support.json.
+fn support_doc(oriented_ms: f64, threads: u64) -> Value {
+    json!({
+        "benchmark": "support+peeling smoke",
+        "meta": {
+            "dataset_suite": "synthetic-smoke-v1",
+            "threads": threads,
+            "quick": true,
+            "git_rev": "0000000000ab",
+            "traced": false,
+            "mem_tracked": false,
+        },
+        "quick": true,
+        "threads": threads,
+        "reps": 3,
+        "results": [{
+            "graph": "rmat",
+            "vertices": 100,
+            "edges": 500,
+            "support_merge_ms": 20.0,
+            "support_oriented_ms": oriented_ms,
+            "support_speedup": 20.0 / oriented_ms,
+            "peel_scan_ms": 9.0,
+            "peel_bucket_ms": 3.0,
+            "peel_speedup": 3.0,
+        }],
+    })
+}
+
+fn run(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_report"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("bench_report runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn baseline_roundtrip_passes_clean() {
+    let dir = scratch_dir("clean");
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 4));
+    let out = run(&dir, &["--write-baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(dir.join("BASELINE_bench.json").exists());
+
+    // Identical run vs its own baseline: zero deltas, exit 0 even strict.
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json", "--strict"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no regression"), "{stdout}");
+}
+
+#[test]
+fn injected_2x_regression_fails_strict_but_warns_by_default() {
+    let dir = scratch_dir("regress");
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 4));
+    let out = run(&dir, &["--write-baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    // Synthetic regression: the oriented Support kernel got 2x slower.
+    write(&dir, "BENCH_support.json", &support_doc(20.0, 4));
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json", "--strict"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("support_oriented_ms"), "{stdout}");
+    // The derived speedup halved too, so it must also be flagged.
+    assert!(stdout.contains("support_speedup"), "{stdout}");
+
+    // Same diff without --strict: warn-only, exit 0.
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warn-only"), "{stdout}");
+}
+
+#[test]
+fn meta_mismatch_is_refused_unless_overridden() {
+    let dir = scratch_dir("meta");
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 4));
+    let out = run(&dir, &["--write-baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    // Same numbers, different pool width: apples to oranges.
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 1));
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("threads"), "{stderr}");
+
+    let out = run(
+        &dir,
+        &["--baseline", "BASELINE_bench.json", "--allow-meta-mismatch"],
+    );
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn missing_artifacts_are_a_usage_error() {
+    let dir = scratch_dir("empty");
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bench_smoke"), "{stderr}");
+}

@@ -71,6 +71,7 @@ pub fn sv_edge_components<V: TriangleAdjacency + ?Sized>(
     let grafts = AtomicU64::new(0);
     while hooking.swap(false, Ordering::Relaxed) {
         rounds += 1;
+        let round_start = tracing.then(std::time::Instant::now);
         // Hooking phase: every round re-enumerates the triangle partners
         // (both variants do; they differ in how partners are resolved).
         members.par_iter().for_each(|&e| {
@@ -99,6 +100,9 @@ pub fn sv_edge_components<V: TriangleAdjacency + ?Sized>(
             members.par_iter().for_each(|&e| {
                 shortcut(parent, e);
             });
+        }
+        if let Some(start) = round_start {
+            et_obs::record_value("sv.round_us", start.elapsed().as_micros() as u64);
         }
     }
     et_obs::counter_add("sv.hook_iterations", rounds);

@@ -16,7 +16,8 @@ fn usage() -> ! {
          equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n\n\
          options (any command):\n  \
          --trace-out <trace.json>   record spans + counters, write chrome://tracing JSON\n  \
-         ET_TRACE=1                 enable tracing without writing a file"
+         ET_TRACE=1                 enable tracing without writing a file\n  \
+         ET_MEM=1                   attribute allocation deltas + peaks to pipeline phases"
     );
     std::process::exit(2);
 }
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
     let require_flag = |name: &str| get_flag(name).unwrap_or_else(|| usage());
 
     et_obs::init_from_env();
+    et_obs::init_mem_from_env();
     let trace_out = get_flag("trace-out").map(PathBuf::from);
     if trace_out.is_some() {
         et_obs::set_enabled(true);

@@ -23,7 +23,7 @@ use crate::index::SuperGraph;
 use crate::phi::PhiGroups;
 use crate::smgraph::merge_supergraph;
 use crate::spedge::{spedge_group, RootPair};
-use crate::timings::{timed_span, timed_span_k, KernelTimings};
+use crate::timings::{timed_phase, timed_phase_k, Kernel, KernelTimings};
 use et_graph::{EdgeId, EdgeIndexedGraph};
 use et_truss::TrussDecomposition;
 use rayon::prelude::*;
@@ -156,8 +156,10 @@ pub fn build_index_with_options(
 ) -> IndexBuild {
     let _build_span = et_obs::span(format!("BuildIndex({})", variant.name()));
     let mut timings = KernelTimings::default();
-    let support = timed_span(&mut timings.support, "Support", || kernel.compute(graph));
-    let decomposition = timed_span(&mut timings.truss_decomp, "TrussDecomp", || {
+    let support = timed_phase(&mut timings, Kernel::Support, "Support", || {
+        kernel.compute(graph)
+    });
+    let decomposition = timed_phase(&mut timings, Kernel::TrussDecomp, "TrussDecomp", || {
         et_truss::parallel::decompose_parallel_with_support(graph, support)
     });
     let index = build_index_with_decomposition_scheduled(
@@ -168,8 +170,14 @@ pub fn build_index_with_options(
         &mut timings,
     );
     // Hierarchy-build phase: the offline half of the query engine, timed
-    // like any other kernel (TrussHierarchy::build opens its own span).
+    // like any other kernel. TrussHierarchy::build opens its own span, so
+    // only a span-less memory window is added here (a second span would
+    // double-count the phase in traces).
+    let mem_window = et_obs::mem_window();
     let hierarchy = crate::timings::timed(&mut timings.hierarchy, || TrussHierarchy::build(&index));
+    if let Some(window) = mem_window {
+        timings.record_mem(Kernel::Hierarchy, window.finish());
+    }
     IndexBuild {
         index,
         hierarchy,
@@ -208,7 +216,7 @@ pub fn build_index_with_decomposition_scheduled(
 
     // Init kernel: Π ← identity (Algorithm 2 ln. 1–2), Φ_k grouping
     // (ln. 3–5), and the Baseline's dictionary when needed.
-    let (parent, phi, dict) = timed_span(&mut timings.init, "Init", || {
+    let (parent, phi, dict) = timed_phase(timings, Kernel::Init, "Init", || {
         let parent: Vec<AtomicU32> = (0..m as u32).map(AtomicU32::new).collect();
         let phi = PhiGroups::build(tau);
         let dict = match variant {
@@ -230,10 +238,10 @@ pub fn build_index_with_decomposition_scheduled(
             // same Φ_k.
             let mut subsets = Vec::new();
             for (k, group) in phi.iter() {
-                timed_span_k(&mut timings.spnode, "SpNode", k, || {
+                timed_phase_k(timings, Kernel::SpNode, "SpNode", k, || {
                     spnode_group(graph, dict.as_ref(), tau, k, group, &parent, variant);
                 });
-                timed_span_k(&mut timings.spedge, "SpEdge", k, || {
+                timed_phase_k(timings, Kernel::SpEdge, "SpEdge", k, || {
                     spedge_group(graph, tau, k, group, &parent, &mut subsets);
                 });
             }
@@ -247,8 +255,10 @@ pub fn build_index_with_decomposition_scheduled(
             // independent — hooking only links same-k edges and Π entries of
             // Φ_k cells never reference other groups — so the nested
             // par_iters just feed one work-stealing pool.
-            timed_span(&mut timings.spnode, "SpNodeWave", || {
+            timed_phase(timings, Kernel::SpNode, "SpNodeWave", || {
+                let wave = et_obs::wave("SpNodeWave");
                 groups.par_iter().for_each(|&(k, group)| {
+                    let _task = wave.task();
                     let _span = et_obs::span("SpNode").arg("k", u64::from(k));
                     spnode_group(graph, dict.as_ref(), tau, k, group, &parent, variant);
                 });
@@ -261,10 +271,12 @@ pub fn build_index_with_decomposition_scheduled(
             // Π roots of edges with trussness ≤ k, all finalized by wave 1.
             // Per-k subset lists are collected in k order so the SmGraph
             // input stays deterministic.
-            timed_span(&mut timings.spedge, "SpEdgeWave", || {
+            timed_phase(timings, Kernel::SpEdge, "SpEdgeWave", || {
+                let wave = et_obs::wave("SpEdgeWave");
                 let per_k: Vec<Vec<Vec<RootPair>>> = groups
                     .par_iter()
                     .map(|&(k, group)| {
+                        let _task = wave.task();
                         let _span = et_obs::span("SpEdge").arg("k", u64::from(k));
                         let mut subsets = Vec::new();
                         spedge_group(graph, tau, k, group, &parent, &mut subsets);
@@ -278,13 +290,13 @@ pub fn build_index_with_decomposition_scheduled(
 
     // SmGraph merge (Algorithm 4). Partition count is clamped to the number
     // of non-empty subsets so tiny graphs don't spawn empty merge partitions.
-    let merged = timed_span(&mut timings.smgraph, "SmGraph", || {
+    let merged = timed_phase(timings, Kernel::SmGraph, "SmGraph", || {
         let partitions = rayon::current_num_threads().min(subsets.len()).max(1);
         merge_supergraph(&subsets, partitions)
     });
 
     // Dense renumbering + assembly.
-    timed_span(&mut timings.spnode_remap, "SpNodeRemap", || {
+    timed_phase(timings, Kernel::SpNodeRemap, "SpNodeRemap", || {
         crate::remap::remap_and_assemble(m, &parent, &merged, &phi)
     })
 }

@@ -1,0 +1,317 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! A [`Log2Histogram`] summarizes `u64` samples into 65 power-of-two
+//! buckets: bucket 0 holds the value `0`, bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i - 1]`. Recording is one relaxed atomic increment per
+//! sample (plus exact min/max/sum tracking), so histograms are safe to
+//! share across rayon workers without a lock and never grow — unlike the
+//! raw-sample distributions they replace, memory stays O(1) no matter how
+//! many samples arrive. Percentiles are recovered by linear interpolation
+//! inside the covering bucket and clamped to the exact observed min/max,
+//! which keeps small-sample summaries exact at the extremes.
+//!
+//! This is the latency-histogram type the planned `et-serve` crate reuses
+//! for request percentiles; here it backs [`crate::record_value`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A lock-free histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample lands.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket a value lands in: 0 for the value `0`, otherwise the
+    /// value's bit length (`floor(log2(v)) + 1`).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `[lo, hi]` value range of a bucket.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < NUM_BUCKETS, "bucket index out of range");
+        if index == 0 {
+            (0, 0)
+        } else if index == NUM_BUCKETS - 1 {
+            (1u64 << (index - 1), u64::MAX)
+        } else {
+            (1u64 << (index - 1), (1u64 << index) - 1)
+        }
+    }
+
+    /// Records one sample (relaxed atomics; callers may race freely).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Folds every sample of `other` into `self` (bucket-wise; min/max/sum
+    /// stay exact).
+    pub fn merge(&self, other: &Log2Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zeroes every bucket and statistic.
+    pub fn clear(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), nearest-rank over buckets with
+    /// linear interpolation inside the covering bucket, clamped to the
+    /// observed `[min, max]`. Returns `None` while empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let snap = self.snapshot();
+        snap.percentile(q)
+    }
+
+    /// A consistent point-in-time copy for summarization (recording may
+    /// continue concurrently; each field is read once).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) copy of a [`Log2Histogram`], used for percentile
+/// extraction.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub counts: [u64; NUM_BUCKETS],
+    /// Exact sum over all samples.
+    pub sum: u64,
+    /// Exact smallest sample (`u64::MAX` while empty).
+    pub min: u64,
+    /// Exact largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total sample count (sum of buckets — the authoritative count for
+    /// percentile ranks, so a torn concurrent snapshot stays internally
+    /// consistent).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// See [`Log2Histogram::percentile`].
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank target, 1-based.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        // The extremes are tracked exactly; only interior ranks need the
+        // bucket walk.
+        if rank <= 1 {
+            return Some(self.min.min(self.max));
+        }
+        if rank >= count {
+            return Some(self.max);
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= rank {
+                let (lo, hi) = Log2Histogram::bucket_bounds(i);
+                // Position inside the bucket, 1-based.
+                let j = rank - (cum - c);
+                let v = if c > 1 {
+                    lo + ((hi - lo) as u128 * (j - 1) as u128 / (c - 1) as u128) as u64
+                } else {
+                    lo
+                };
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Allocation-heavy tests elsewhere in this crate watch the process-wide
+    // allocator counters; serialize on the crate lock so these tests'
+    // allocations stay out of their measurement windows.
+
+    #[test]
+    fn bucket_boundaries() {
+        let _guard = crate::tests::lock();
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(7), 3);
+        assert_eq!(Log2Histogram::bucket_index(8), 4);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        // Every bucket's bounds map back onto the bucket.
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(Log2Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(Log2Histogram::bucket_index(hi), i, "hi of bucket {i}");
+            assert!(lo <= hi);
+        }
+        // Buckets tile the domain with no gaps.
+        for i in 1..NUM_BUCKETS {
+            let (_, prev_hi) = Log2Histogram::bucket_bounds(i - 1);
+            let (lo, _) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(lo, prev_hi + 1, "gap before bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentile_interpolation_small_sample() {
+        let _guard = crate::tests::lock();
+        let h = Log2Histogram::new();
+        for v in [4u64, 1, 3, 2, 5] {
+            h.record(v);
+        }
+        // {2,3} share a bucket: rank 3 interpolates to the bucket's top.
+        assert_eq!(h.percentile(0.5), Some(3));
+        // Rank 5 is the last rank, which reports the exact observed max.
+        assert_eq!(h.percentile(0.9), Some(5));
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(1.0), Some(5));
+    }
+
+    #[test]
+    fn percentile_on_uniform_ramp() {
+        let _guard = crate::tests::lock();
+        let h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log2 buckets bound the relative error by the bucket width: the
+        // estimate must land within the true value's bucket neighborhood.
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((256..=767).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((900..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.percentile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn exact_stats_and_merge() {
+        let _guard = crate::tests::lock();
+        let a = Log2Histogram::new();
+        let b = Log2Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1000u64, 5] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 1116);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.percentile(0.5), None);
+    }
+
+    #[test]
+    fn singleton_and_zero() {
+        let _guard = crate::tests::lock();
+        let h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0));
+        h.record(0);
+        h.record(42);
+        assert_eq!(h.percentile(1.0), Some(42));
+        assert_eq!(h.snapshot().min, 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let _guard = crate::tests::lock();
+        let h = Log2Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.snapshot().min, 0);
+        assert_eq!(h.snapshot().max, 7999);
+    }
+}

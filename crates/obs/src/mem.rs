@@ -1,0 +1,407 @@
+//! Phase-attributed memory accounting through a tracking global allocator.
+//!
+//! With the (default) `alloc-track` cargo feature, et-obs installs a
+//! [`TrackingAllocator`] wrapping the system allocator. It is dormant —
+//! one relaxed boolean load per `alloc`/`dealloc` — until switched on by
+//! `ET_MEM=1` (see [`init_mem_from_env`]) or [`set_mem_enabled`]. When
+//! active it maintains:
+//!
+//! * a process-wide live-byte counter and peak footprint;
+//! * per-*phase* slots (cumulative allocated bytes, allocation count, and
+//!   the peak footprint observed while the phase was current), where a
+//!   phase is the innermost [`crate::span`] on the allocating thread,
+//!   falling back — for rayon workers that carry no span of their own —
+//!   to the innermost span of the thread driving the pipeline.
+//!
+//! Attribution is cooperative, not exact: a worker thread that opens its
+//! own span (e.g. the per-k `SpNode` spans inside a wave) attributes to
+//! that span, everything else lands on the driving thread's phase, and
+//! frees are only subtracted from the global footprint (a phase is not
+//! "refunded" when another phase frees its buffers). That is the right
+//! shape for the question this exists to answer — *which pipeline phase
+//! grows the footprint, and by how much* — without per-allocation
+//! metadata.
+//!
+//! [`crate::snapshot`] folds the per-phase slots into the metrics
+//! snapshot as `mem.alloc_bytes.<phase>` / `mem.peak_bytes.<phase>`
+//! counters plus the global `mem.current_bytes` / `mem.peak_bytes`, so
+//! memory accounting rides into every report JSON alongside the existing
+//! counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Name of the environment variable that switches memory tracking on.
+pub const MEM_ENV_VAR: &str = "ET_MEM";
+
+/// Upper bound on distinct attribution phases; later registrations fall
+/// back to the unattributed slot 0.
+const MAX_PHASES: usize = 64;
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+/// Tri-state switch mirroring the `ET_TRACE` one in `lib.rs`.
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+/// The flag the allocator hot path reads. Only true once tracking was
+/// explicitly switched on, so the env lookup never happens inside `alloc`.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Live bytes: allocations add, frees subtract. Signed because frees of
+/// memory allocated before tracking started may drive it below zero.
+static CURRENT_BYTES: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`CURRENT_BYTES`].
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Cumulative bytes handed out since tracking started (never decremented).
+static TOTAL_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Phase id rayon workers (threads without a span of their own) fall back
+/// to; maintained by the span chain of the driving thread.
+static GLOBAL_PHASE: AtomicU32 = AtomicU32::new(0);
+
+struct PhaseSlot {
+    alloc_bytes: AtomicU64,
+    alloc_count: AtomicU64,
+    peak_bytes: AtomicU64,
+}
+
+impl PhaseSlot {
+    const fn new() -> Self {
+        PhaseSlot {
+            alloc_bytes: AtomicU64::new(0),
+            alloc_count: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // const used only as array-repeat seed
+const EMPTY_SLOT: PhaseSlot = PhaseSlot::new();
+/// Slot 0 collects allocations made outside any span.
+static PHASES: [PhaseSlot; MAX_PHASES] = [EMPTY_SLOT; MAX_PHASES];
+/// Registered phase names; index `i` owns slot `i + 1`. Only touched from
+/// span open (never from the allocator), so the mutex cannot recurse.
+static PHASE_NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Innermost mem-tracked span phase of this thread (0 = none).
+    static TLS_PHASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether memory tracking is on. The first call (unless
+/// [`set_mem_enabled`] ran earlier) reads `ET_MEM`; afterwards this is a
+/// single relaxed load.
+#[inline]
+pub fn mem_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_mem_from_env(),
+    }
+}
+
+/// Initializes the switch from `ET_MEM` (unset, empty, `0`, `false`,
+/// `off`, or `no` mean disabled) unless [`set_mem_enabled`] already
+/// decided. Returns the resulting state.
+pub fn init_mem_from_env() -> bool {
+    let on = std::env::var(MEM_ENV_VAR)
+        .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "off" | "no"))
+        .unwrap_or(false);
+    let _ = STATE.compare_exchange(
+        UNINIT,
+        if on { ON } else { OFF },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    let on = STATE.load(Ordering::Relaxed) == ON;
+    ACTIVE.store(on, Ordering::Relaxed);
+    on
+}
+
+/// Forces memory tracking on or off, overriding `ET_MEM`.
+pub fn set_mem_enabled(on: bool) {
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    ACTIVE.store(on, Ordering::Relaxed);
+}
+
+/// Whether the allocator is currently recording (false when the
+/// `alloc-track` feature is compiled out, regardless of the switch).
+pub fn mem_tracking_active() -> bool {
+    cfg!(feature = "alloc-track") && ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Registers (or finds) a phase, returning its slot id. Falls back to the
+/// unattributed slot 0 when [`MAX_PHASES`] distinct names exist.
+fn register_phase(name: &str) -> u32 {
+    let mut names = PHASE_NAMES.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return i as u32 + 1;
+    }
+    if names.len() + 1 >= MAX_PHASES {
+        return 0;
+    }
+    names.push(name.to_string());
+    names.len() as u32
+}
+
+/// Live bytes right now (clamped at zero: frees of pre-tracking memory
+/// can push the raw counter negative).
+pub fn mem_current_bytes() -> u64 {
+    CURRENT_BYTES.load(Ordering::Relaxed).max(0) as u64
+}
+
+/// Unclamped live-byte counter — negative when more pre-tracking memory
+/// was freed than tracked memory allocated. Useful for window deltas.
+pub fn mem_current_bytes_raw() -> i64 {
+    CURRENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes observed since tracking started (or the last reset).
+pub fn mem_peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Cumulative bytes allocated since tracking started (or the last reset).
+pub fn mem_total_alloc_bytes() -> u64 {
+    TOTAL_ALLOC_BYTES.load(Ordering::Relaxed)
+}
+
+/// Point-in-time memory accounting of one phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseMemStats {
+    /// Phase name (the span name that attributed here).
+    pub name: String,
+    /// Bytes allocated while the phase was current.
+    pub alloc_bytes: u64,
+    /// Number of allocations while the phase was current.
+    pub alloc_count: u64,
+    /// Peak process footprint observed while the phase was current.
+    pub peak_bytes: u64,
+}
+
+/// Snapshot of every phase that attributed at least one allocation,
+/// registration order. Slot 0 surfaces as `"(unattributed)"`.
+pub fn mem_phase_stats() -> Vec<PhaseMemStats> {
+    let names = PHASE_NAMES.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = Vec::new();
+    for (i, slot) in PHASES.iter().enumerate() {
+        let count = slot.alloc_count.load(Ordering::Relaxed);
+        if count == 0 {
+            continue;
+        }
+        let name = if i == 0 {
+            "(unattributed)".to_string()
+        } else {
+            match names.get(i - 1) {
+                Some(n) => n.clone(),
+                None => continue,
+            }
+        };
+        out.push(PhaseMemStats {
+            name,
+            alloc_bytes: slot.alloc_bytes.load(Ordering::Relaxed),
+            alloc_count: count,
+            peak_bytes: slot.peak_bytes.load(Ordering::Relaxed),
+        });
+    }
+    out
+}
+
+/// Zeroes every phase slot and the global totals/peak (live-byte tracking
+/// continues from the current footprint; phase names stay registered so
+/// ids held by open spans remain valid).
+pub fn reset_mem_stats() {
+    for slot in &PHASES {
+        slot.alloc_bytes.store(0, Ordering::Relaxed);
+        slot.alloc_count.store(0, Ordering::Relaxed);
+        slot.peak_bytes.store(0, Ordering::Relaxed);
+    }
+    TOTAL_ALLOC_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(mem_current_bytes(), Ordering::Relaxed);
+}
+
+/// Memory accounting of one closed span window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanMemStats {
+    /// Bytes allocated process-wide during the window (inclusive of
+    /// nested spans and concurrent worker threads).
+    pub alloc_bytes: u64,
+    /// Peak live footprint observed during the window (approximate when
+    /// the process peak predates the window: then the footprint at the
+    /// window edges bounds it).
+    pub peak_bytes: u64,
+    /// Live footprint when the window closed.
+    pub current_bytes: u64,
+}
+
+/// An open measurement window over the global allocation totals. Cheap —
+/// three relaxed loads to open, four to close.
+#[derive(Clone, Copy, Debug)]
+pub struct MemWindow {
+    start_total: u64,
+    start_peak: u64,
+    start_current: u64,
+}
+
+/// Opens a window, or `None` while tracking is off.
+pub fn mem_window() -> Option<MemWindow> {
+    if !mem_tracking_active() {
+        return None;
+    }
+    Some(MemWindow {
+        start_total: mem_total_alloc_bytes(),
+        start_peak: mem_peak_bytes(),
+        start_current: mem_current_bytes(),
+    })
+}
+
+impl MemWindow {
+    /// Closes the window, returning what was allocated inside it.
+    pub fn finish(self) -> SpanMemStats {
+        let end_total = mem_total_alloc_bytes();
+        let end_peak = mem_peak_bytes();
+        let current = mem_current_bytes();
+        // The global peak is monotone; if it did not move, the footprint
+        // never exceeded the window edges.
+        let peak = if end_peak > self.start_peak {
+            end_peak
+        } else {
+            self.start_current.max(current)
+        };
+        SpanMemStats {
+            alloc_bytes: end_total.saturating_sub(self.start_total),
+            peak_bytes: peak,
+            current_bytes: current,
+        }
+    }
+}
+
+/// Span-side handle: phase attribution plus a measurement window.
+pub(crate) struct PhaseToken {
+    id: u32,
+    prev_tls: u32,
+    owned_global: bool,
+    window: MemWindow,
+}
+
+/// Enters the phase `name` on this thread (and, when this thread owns the
+/// global fallback chain, for worker threads too). `None` when off.
+pub(crate) fn enter_phase(name: &str) -> Option<PhaseToken> {
+    if !mem_tracking_active() {
+        return None;
+    }
+    let id = register_phase(name);
+    let prev_tls = TLS_PHASE.with(|c| {
+        let prev = c.get();
+        c.set(id);
+        prev
+    });
+    // Publish to the worker-fallback slot only when this thread's chain IS
+    // the global chain (its previous innermost phase is the published one);
+    // a worker opening its own span under someone else's phase keeps the
+    // attribution thread-local.
+    let owned_global = GLOBAL_PHASE
+        .compare_exchange(prev_tls, id, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok();
+    Some(PhaseToken {
+        id,
+        prev_tls,
+        owned_global,
+        window: mem_window().unwrap_or(MemWindow {
+            start_total: 0,
+            start_peak: 0,
+            start_current: 0,
+        }),
+    })
+}
+
+/// Leaves the phase, restoring the previous attribution and returning the
+/// window's accounting.
+pub(crate) fn exit_phase(token: PhaseToken) -> SpanMemStats {
+    TLS_PHASE.with(|c| c.set(token.prev_tls));
+    if token.owned_global {
+        let _ = GLOBAL_PHASE.compare_exchange(
+            token.id,
+            token.prev_tls,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+    token.window.finish()
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    let size64 = size as u64;
+    TOTAL_ALLOC_BYTES.fetch_add(size64, Ordering::Relaxed);
+    let cur = CURRENT_BYTES.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
+    if cur > 0 {
+        PEAK_BYTES.fetch_max(cur as u64, Ordering::Relaxed);
+    }
+    // `try_with` so allocations during thread teardown cannot panic.
+    let mut phase = TLS_PHASE.try_with(|c| c.get()).unwrap_or(0);
+    if phase == 0 {
+        phase = GLOBAL_PHASE.load(Ordering::Relaxed);
+    }
+    let slot = &PHASES[phase as usize];
+    slot.alloc_bytes.fetch_add(size64, Ordering::Relaxed);
+    slot.alloc_count.fetch_add(1, Ordering::Relaxed);
+    if cur > 0 {
+        slot.peak_bytes.fetch_max(cur as u64, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    CURRENT_BYTES.fetch_sub(size as i64, Ordering::Relaxed);
+}
+
+/// System-allocator wrapper that, while [`mem_tracking_active`], accounts
+/// every allocation to the current phase. Installed as the global
+/// allocator by the `alloc-track` feature; dormant it costs one relaxed
+/// load per call.
+pub struct TrackingAllocator;
+
+// SAFETY: delegates every allocation verbatim to `System`; the accounting
+// side only touches atomics and a const-initialized (allocation-free)
+// thread-local, so it cannot recurse into the allocator.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() && ACTIVE.load(Ordering::Relaxed) {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() && ACTIVE.load(Ordering::Relaxed) {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if ACTIVE.load(Ordering::Relaxed) {
+            on_dealloc(layout.size());
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() && ACTIVE.load(Ordering::Relaxed) {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// The workspace-wide allocator (every binary linking et-obs gets it).
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static GLOBAL_ALLOCATOR: TrackingAllocator = TrackingAllocator;

@@ -1,19 +1,36 @@
-//! Named counters and value distributions with snapshot extraction.
+//! Named counters and log2-histogram distributions with snapshot extraction.
 
+use crate::hist::{HistogramSnapshot, Log2Histogram};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Default)]
 struct Registry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
-    distributions: RwLock<BTreeMap<String, Arc<Mutex<Vec<u64>>>>>,
+    distributions: RwLock<BTreeMap<String, Arc<Log2Histogram>>>,
 }
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 
 fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
+}
+
+// Registry state is a monotone bag of atomics — a panic while holding a
+// lock cannot leave it torn, so poisoned locks are safe to recover. This
+// keeps metrics usable after a caught panic (the panic-safe span guards
+// depend on it).
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
 }
 
 /// A hoisted reference to one named counter — fetch once outside a hot loop,
@@ -45,10 +62,10 @@ impl CounterHandle {
 /// hoisting a handle gate recording themselves via [`crate::enabled`].
 pub fn counter(name: &str) -> CounterHandle {
     let reg = registry();
-    if let Some(c) = reg.counters.read().unwrap().get(name) {
+    if let Some(c) = read_recover(&reg.counters).get(name) {
         return CounterHandle(c.clone());
     }
-    let mut w = reg.counters.write().unwrap();
+    let mut w = write_recover(&reg.counters);
     CounterHandle(w.entry(name.to_string()).or_default().clone())
 }
 
@@ -61,30 +78,33 @@ pub fn counter_add(name: &str, delta: u64) {
     counter(name).add(delta);
 }
 
+/// Returns (registering on first use) the distribution called `name` —
+/// hoist it outside hot loops like a [`CounterHandle`]. Recording into a
+/// [`Log2Histogram`] is lock-free, so rayon workers may share the handle.
+pub fn distribution(name: &str) -> Arc<Log2Histogram> {
+    let reg = registry();
+    if let Some(d) = read_recover(&reg.distributions).get(name) {
+        return d.clone();
+    }
+    let mut w = write_recover(&reg.distributions);
+    w.entry(name.to_string()).or_default().clone()
+}
+
 /// Records one sample into the distribution called `name`; no-op while
-/// recording is disabled. Samples are kept raw until [`snapshot`] summarizes
-/// them — intended for per-kernel-scale sampling (buffer lengths, frontier
-/// sizes), not per-edge events.
+/// recording is disabled. Samples land in a fixed-size log2 histogram
+/// ([`Log2Histogram`]), so memory stays O(1) per metric regardless of
+/// sample volume — cheap enough for per-task events, not just
+/// per-kernel-scale sampling.
 pub fn record_value(name: &str, value: u64) {
     if !crate::enabled() {
         return;
     }
-    let reg = registry();
-    let dist = {
-        let r = reg.distributions.read().unwrap();
-        r.get(name).cloned()
-    };
-    let dist = match dist {
-        Some(d) => d,
-        None => {
-            let mut w = reg.distributions.write().unwrap();
-            w.entry(name.to_string()).or_default().clone()
-        }
-    };
-    dist.lock().unwrap().push(value);
+    distribution(name).record(value);
 }
 
-/// Summary statistics of one recorded distribution.
+/// Summary statistics of one recorded distribution. count/min/max/sum/mean
+/// are exact; the percentiles are interpolated from log2 buckets (exact at
+/// the observed extremes).
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct DistributionSummary {
@@ -98,30 +118,32 @@ pub struct DistributionSummary {
     pub sum: u64,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Median (nearest-rank).
+    /// Median.
     pub p50: u64,
-    /// 90th percentile (nearest-rank).
+    /// 90th percentile.
     pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
 }
 
 impl DistributionSummary {
-    fn from_samples(samples: &[u64]) -> Option<DistributionSummary> {
-        if samples.is_empty() {
+    fn from_histogram(snap: &HistogramSnapshot) -> Option<DistributionSummary> {
+        let count = snap.count();
+        if count == 0 {
             return None;
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let count = sorted.len() as u64;
-        let sum: u64 = sorted.iter().sum();
-        let pct = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
         Some(DistributionSummary {
             count,
-            min: sorted[0],
-            max: *sorted.last().unwrap(),
-            sum,
-            mean: sum as f64 / count as f64,
-            p50: pct(0.5),
-            p90: pct(0.9),
+            min: snap.min,
+            max: snap.max,
+            sum: snap.sum,
+            mean: snap.sum as f64 / count as f64,
+            p50: snap.percentile(0.5).unwrap_or(0),
+            p90: snap.percentile(0.9).unwrap_or(0),
+            p95: snap.percentile(0.95).unwrap_or(0),
+            p99: snap.percentile(0.99).unwrap_or(0),
         })
     }
 }
@@ -173,6 +195,8 @@ impl MetricsSnapshot {
                     };
                     mine.p50 = weighted(mine.p50, d.p50);
                     mine.p90 = weighted(mine.p90, d.p90);
+                    mine.p95 = weighted(mine.p95, d.p95);
+                    mine.p99 = weighted(mine.p99, d.p99);
                     mine.min = mine.min.min(d.min);
                     mine.max = mine.max.max(d.max);
                     mine.sum += d.sum;
@@ -207,14 +231,16 @@ impl MetricsSnapshot {
             crate::trace::push_json_string(out, name);
             out.push_str(&format!(
                 ": {{\"count\": {}, \"min\": {}, \"max\": {}, \"sum\": {}, \
-                 \"mean\": {}, \"p50\": {}, \"p90\": {}}}",
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}}}",
                 d.count,
                 d.min,
                 d.max,
                 d.sum,
                 json_f64(d.mean),
                 d.p50,
-                d.p90
+                d.p90,
+                d.p95,
+                d.p99
             ));
         }
         out.push_str("}}");
@@ -230,25 +256,37 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Snapshots every registered counter and distribution.
+/// Snapshots every registered counter and distribution. While memory
+/// tracking is active ([`crate::mem_tracking_active`]), the allocator's
+/// per-phase accounting is folded in as `mem.alloc_bytes.<phase>` /
+/// `mem.peak_bytes.<phase>` counters plus the process-wide
+/// `mem.current_bytes`, `mem.peak_bytes`, and `mem.alloc_bytes` totals, so
+/// every report JSON carries the memory columns for free.
 pub fn snapshot() -> MetricsSnapshot {
     let reg = registry();
-    let counters = reg
-        .counters
-        .read()
-        .unwrap()
+    let mut counters: BTreeMap<String, u64> = read_recover(&reg.counters)
         .iter()
         .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
         .collect();
-    let distributions = reg
-        .distributions
-        .read()
-        .unwrap()
+    let distributions = read_recover(&reg.distributions)
         .iter()
         .filter_map(|(k, v)| {
-            DistributionSummary::from_samples(&v.lock().unwrap()).map(|d| (k.clone(), d))
+            DistributionSummary::from_histogram(&v.snapshot()).map(|d| (k.clone(), d))
         })
         .collect();
+    if crate::mem_tracking_active() {
+        for p in crate::mem_phase_stats() {
+            counters.insert(format!("mem.alloc_bytes.{}", p.name), p.alloc_bytes);
+            counters.insert(format!("mem.alloc_count.{}", p.name), p.alloc_count);
+            counters.insert(format!("mem.peak_bytes.{}", p.name), p.peak_bytes);
+        }
+        counters.insert("mem.current_bytes".to_string(), crate::mem_current_bytes());
+        counters.insert("mem.peak_bytes".to_string(), crate::mem_peak_bytes());
+        counters.insert(
+            "mem.alloc_bytes".to_string(),
+            crate::mem_total_alloc_bytes(),
+        );
+    }
     MetricsSnapshot {
         counters,
         distributions,
@@ -256,9 +294,9 @@ pub fn snapshot() -> MetricsSnapshot {
 }
 
 /// Unregisters every counter and distribution (hoisted [`CounterHandle`]s
-/// become detached).
+/// and distribution handles become detached).
 pub fn reset_metrics() {
     let reg = registry();
-    reg.counters.write().unwrap().clear();
-    reg.distributions.write().unwrap().clear();
+    write_recover(&reg.counters).clear();
+    write_recover(&reg.distributions).clear();
 }

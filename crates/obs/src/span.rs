@@ -1,5 +1,14 @@
 //! Wall-clock spans with thread attribution, buffered as trace events.
+//!
+//! Spans are panic-safe: a guard dropped during unwind still records its
+//! event (Rust runs `Drop` during unwind, and every lock on the buffer
+//! recovers from poisoning), so a caught panic inside a span leaves the
+//! chrome-trace export well-formed. While memory tracking is active
+//! ([`crate::mem_tracking_active`]), each span also becomes the allocation
+//! phase of its scope and closes with its window's byte accounting
+//! attached (`mem.alloc_bytes` / `mem.peak_bytes` args on the event).
 
+use crate::mem::{PhaseToken, SpanMemStats};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -36,10 +45,26 @@ fn current_tid() -> u32 {
     TID.with(|t| *t)
 }
 
-/// An open span; records a [`TraceEvent`] when dropped. A no-op (nothing
-/// allocated, nothing recorded) while recording is disabled.
+/// Timing and memory accounting of one closed span, as returned by
+/// [`SpanGuard::finish`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanStats {
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Allocation accounting of the span window; `None` while memory
+    /// tracking is off.
+    pub mem: Option<SpanMemStats>,
+}
+
+/// An open span; records a [`TraceEvent`] when dropped (or via
+/// [`SpanGuard::finish`] when the caller wants the measurements back).
+/// A no-op (nothing allocated, nothing recorded) while recording is
+/// disabled.
 #[must_use = "a span measures the scope it is bound to; bind it to a variable"]
-pub struct SpanGuard(Option<ActiveSpan>);
+pub struct SpanGuard {
+    timing: Option<ActiveSpan>,
+    mem: Option<PhaseToken>,
+}
 
 struct ActiveSpan {
     name: Cow<'static, str>,
@@ -50,49 +75,82 @@ struct ActiveSpan {
 impl SpanGuard {
     /// Attaches a numeric annotation shown under the span in trace viewers.
     pub fn arg(mut self, key: impl Into<String>, value: u64) -> Self {
-        if let Some(s) = &mut self.0 {
+        if let Some(s) = &mut self.timing {
             s.args.push((key.into(), value));
         }
         self
+    }
+
+    /// Closes the span now and returns its measurements (what `Drop` would
+    /// record, handed back to the caller as well).
+    pub fn finish(mut self) -> SpanStats {
+        self.close()
+    }
+
+    fn close(&mut self) -> SpanStats {
+        let mem_stats = self.mem.take().map(crate::mem::exit_phase);
+        let mut stats = SpanStats {
+            dur_us: 0,
+            mem: mem_stats,
+        };
+        if let Some(mut s) = self.timing.take() {
+            let end = now_us();
+            stats.dur_us = end.saturating_sub(s.start_us);
+            if let Some(m) = &mem_stats {
+                s.args.push(("mem.alloc_bytes".to_string(), m.alloc_bytes));
+                s.args.push(("mem.peak_bytes".to_string(), m.peak_bytes));
+            }
+            let event = TraceEvent {
+                name: s.name.into_owned(),
+                ts: s.start_us,
+                dur: stats.dur_us,
+                tid: current_tid(),
+                args: s.args,
+            };
+            crate::metrics::lock_recover(&EVENTS).push(event);
+        }
+        stats
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(s) = self.0.take() {
-            let end = now_us();
-            let event = TraceEvent {
-                name: s.name.into_owned(),
-                ts: s.start_us,
-                dur: end.saturating_sub(s.start_us),
-                tid: current_tid(),
-                args: s.args,
-            };
-            EVENTS.lock().unwrap().push(event);
-        }
+        self.close();
     }
 }
 
 /// Opens a span covering the scope the returned guard lives in. Nesting is
 /// implicit: spans opened while another is live on the same thread render
-/// nested in `chrome://tracing`.
+/// nested in `chrome://tracing`. While memory tracking is on, the span is
+/// also the allocation-attribution phase for its scope.
 pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
-    if !crate::enabled() {
-        return SpanGuard(None);
+    let mem_on = crate::mem_tracking_active();
+    if !crate::enabled() && !mem_on {
+        return SpanGuard {
+            timing: None,
+            mem: None,
+        };
     }
-    SpanGuard(Some(ActiveSpan {
-        name: name.into(),
+    let name = name.into();
+    let mem = if mem_on {
+        crate::mem::enter_phase(&name)
+    } else {
+        None
+    };
+    let timing = crate::enabled().then(|| ActiveSpan {
+        name,
         args: Vec::new(),
         start_us: now_us(),
-    }))
+    });
+    SpanGuard { timing, mem }
 }
 
 /// Drains every buffered span event (oldest first).
 pub fn take_events() -> Vec<TraceEvent> {
-    std::mem::take(&mut *EVENTS.lock().unwrap())
+    std::mem::take(&mut *crate::metrics::lock_recover(&EVENTS))
 }
 
 /// Discards all buffered span events.
 pub fn reset_spans() {
-    EVENTS.lock().unwrap().clear();
+    crate::metrics::lock_recover(&EVENTS).clear();
 }

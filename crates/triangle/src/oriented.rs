@@ -44,8 +44,10 @@ pub fn compute_support_with_oriented(
     let num_arcs = oriented.num_arcs();
     let num_chunks = num_arcs.div_ceil(ARC_CHUNK);
     let tracing = et_obs::enabled();
+    let wave = et_obs::wave("SupportChunks");
 
     (0..num_chunks).into_par_iter().for_each(|chunk| {
+        let _task = wave.task();
         let lo = chunk * ARC_CHUNK;
         let hi = (lo + ARC_CHUNK).min(num_arcs);
         let offsets = oriented.offsets();

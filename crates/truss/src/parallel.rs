@@ -45,6 +45,12 @@ const QUEUED: u8 = 1 << 2;
 /// rounds gets exactly one new bucket entry. Cleared at level-end repair.
 const MOVED: u8 = 1 << 3;
 
+/// Frontier edges per peel work unit. Fixed-size chunks (instead of rayon's
+/// adaptive splitting) give each task a comparable amount of triangle work,
+/// which is what makes the `PeelFrontier` occupancy/imbalance telemetry
+/// meaningful.
+const PEEL_CHUNK: usize = 256;
+
 /// Parallel level-synchronous truss decomposition.
 ///
 /// When tracing is enabled, the two kernels show up as `Support` and
@@ -90,6 +96,7 @@ pub fn decompose_parallel_with_support(
     let trussness: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
 
     let tracing = et_obs::enabled();
+    let wave = et_obs::wave("PeelFrontier");
     let mut levels_with_work = 0u64;
     let mut peel_rounds = 0u64;
     let mut bucket_repairs = 0u64;
@@ -141,10 +148,11 @@ pub fn decompose_parallel_with_support(
             // `moved` collects edges whose support dropped but stayed above
             // the floor, for lazy bucket repair at level end.
             let parts: Vec<(Vec<EdgeId>, Vec<EdgeId>)> = frontier
-                .par_iter()
-                .fold(
-                    || (Vec::new(), Vec::new()),
-                    |mut acc, &e| {
+                .par_chunks(PEEL_CHUNK)
+                .map(|job| {
+                    let _task = wave.task();
+                    let mut acc = (Vec::new(), Vec::new());
+                    for &e in job {
                         for_each_triangle_of_edge(graph, e, |_, e1, e2| {
                             let (i1, i2) = (e1 as usize, e2 as usize);
                             let s1 = state[i1].load(Ordering::Relaxed);
@@ -188,9 +196,9 @@ pub fn decompose_parallel_with_support(
                                 }
                             }
                         });
-                        acc
-                    },
-                )
+                    }
+                    acc
+                })
                 .collect();
 
             // Retire the round.

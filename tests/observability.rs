@@ -222,3 +222,76 @@ fn disabled_tracing_records_nothing_end_to_end() {
     assert!(obs::snapshot().is_empty());
     assert!(obs::take_events().is_empty());
 }
+
+#[test]
+fn wave_occupancy_metrics_cover_the_pipeline() {
+    let _guard = LOCK.lock().unwrap();
+    let eg = test_graph();
+    obs::set_enabled(true);
+    obs::reset();
+    build_index(&eg, Variant::Afforest);
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    // Oriented Support, PKT peeling, and the two index waves all report
+    // task counts, busy time, load imbalance, and pool occupancy.
+    for wave in ["SupportChunks", "PeelFrontier", "SpNodeWave", "SpEdgeWave"] {
+        assert!(
+            snap.counter(&format!("par.tasks.{wave}")) > 0,
+            "no tasks recorded for {wave}"
+        );
+        assert!(
+            snap.distribution(&format!("par.busy_us.{wave}")).is_some(),
+            "no busy time recorded for {wave}"
+        );
+        let imb = snap
+            .distribution(&format!("par.imbalance_x1000.{wave}"))
+            .unwrap_or_else(|| panic!("no imbalance recorded for {wave}"));
+        // max/mean over active threads is ≥ 1.0 by construction.
+        assert!(
+            imb.min >= 1000,
+            "{wave}: imbalance_x1000 {} < 1000",
+            imb.min
+        );
+        let occ = snap
+            .distribution(&format!("par.occupancy_pct.{wave}"))
+            .unwrap_or_else(|| panic!("no occupancy recorded for {wave}"));
+        assert!(occ.max <= 100, "{wave}: occupancy {}% > 100%", occ.max);
+    }
+}
+
+#[test]
+fn memory_columns_stay_zero_without_et_mem() {
+    let _guard = LOCK.lock().unwrap();
+    obs::set_enabled(false);
+    obs::reset();
+    // ET_MEM is not set in the test environment and init_mem_from_env was
+    // never called, so every per-phase memory cell must stay zeroed.
+    assert!(!obs::mem_tracking_active());
+    let eg = test_graph();
+    let build = build_index(&eg, Variant::Afforest);
+    assert!(
+        build.timings.mem.iter().all(|m| m.is_zero()),
+        "phase memory recorded while tracking is off: {:?}",
+        build.timings.mem
+    );
+}
+
+#[test]
+fn reset_clears_distribution_state_between_runs() {
+    let _guard = LOCK.lock().unwrap();
+    obs::set_enabled(true);
+    obs::reset();
+    obs::record_value("test.reset_dist", 42);
+    obs::counter_add("test.reset_counter", 7);
+    assert!(obs::snapshot().distribution("test.reset_dist").is_some());
+    obs::reset();
+    // A fresh snapshot after reset carries neither the counter nor any
+    // histogram buckets from the previous run.
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+    assert!(snap.distribution("test.reset_dist").is_none());
+    assert_eq!(snap.counter("test.reset_counter"), 0);
+    assert!(snap.is_empty());
+}
