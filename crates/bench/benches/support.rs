@@ -6,6 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use et_graph::{EdgeIndexedGraph, OrientedGraph};
 use et_triangle::intersect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bench_support(c: &mut Criterion) {
@@ -23,7 +25,8 @@ fn bench_support(c: &mut Criterion) {
     group.finish();
 }
 
-/// Merge (triangle visited 3×) vs. oriented (triangle visited once) Support
+/// Merge (triangle visited 3×) vs. oriented (triangle visited once) vs.
+/// cover-edge (triangle claimed once from its BFS-level cover) Support
 /// kernels. The R-MAT instance has ≥ 2^18 edges; the overlapping-clique
 /// instance mimics DBLP-style collaboration structure.
 fn bench_support_kernels(c: &mut Criterion) {
@@ -52,6 +55,9 @@ fn bench_support_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("oriented", name), graph, |b, g| {
             b.iter(|| black_box(et_triangle::compute_support_oriented(g)));
         });
+        group.bench_with_input(BenchmarkId::new("cover", name), graph, |b, g| {
+            b.iter(|| black_box(et_triangle::compute_support_cover(g)));
+        });
         // Steady-state cost with the DAG view amortized across runs.
         let view = OrientedGraph::build(graph);
         group.bench_with_input(
@@ -60,6 +66,38 @@ fn bench_support_kernels(c: &mut Criterion) {
             |b, g| {
                 b.iter(|| black_box(et_triangle::compute_support_with_oriented(g, &view)));
             },
+        );
+    }
+
+    // GALLOP_RATIO sweep: merge vs. galloping probe on a 256-element set
+    // against a larger set at every size ratio around the crossover. The
+    // constant in `et_triangle::intersect` is set from where the gallop
+    // curve dips below the merge curve (see DESIGN.md "Kernel engineering").
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut random_set = |len: usize, span: u32| -> Vec<u32> {
+        let mut v: Vec<u32> = Vec::new();
+        while v.len() < len {
+            v.extend((0..len * 2).map(|_| rng.gen_range(0..span)));
+            v.sort_unstable();
+            v.dedup();
+        }
+        v.truncate(len);
+        v
+    };
+    let small_len = 256usize;
+    for ratio in [2usize, 4, 8, 16, 32, 64, 128] {
+        let span = (small_len * ratio * 4) as u32;
+        let small = random_set(small_len, span);
+        let large = random_set(small_len * ratio, span);
+        group.bench_with_input(
+            BenchmarkId::new("gallop_ratio/merge", ratio),
+            &(&small, &large),
+            |b, (s, l)| b.iter(|| black_box(intersect::merge_intersect_count(s, l))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop_ratio/gallop", ratio),
+            &(&small, &large),
+            |b, (s, l)| b.iter(|| black_box(intersect::gallop_intersect_count(s, l))),
         );
     }
     group.finish();

@@ -1,7 +1,12 @@
-//! Kernel smoke benchmark: merge vs. oriented Support, scan vs. bucket
-//! peeling, and per-variant index construction under both SpNode/SpEdge
-//! schedules, timed with plain wall clocks and dumped as JSON artifacts
-//! (`BENCH_support.json` + `BENCH_index.json` by default).
+//! Kernel smoke benchmark: the full Support-kernel × graph-shape matrix
+//! (merge vs. oriented vs. cover-edge, scalar and SIMD arms when compiled
+//! with `--features simd`), scan vs. bucket peeling, and per-variant index
+//! construction under both SpNode/SpEdge schedules, timed with plain wall
+//! clocks and dumped as JSON artifacts (`BENCH_support.json` +
+//! `BENCH_index.json` by default). Each support row names the winning
+//! kernel for its shape and carries the median `SupportChunks` /
+//! `PeelFrontier` wave imbalance from a dedicated traced run, so the
+//! work-aware scheduler's balance is visible in the artifact diff.
 //!
 //! This is not a statistics-grade benchmark — criterion owns that — but a
 //! cheap CI tripwire: it runs in seconds, proves the kernels agree, and
@@ -57,7 +62,7 @@ struct BenchMeta {
 impl BenchMeta {
     fn capture(quick: bool) -> Self {
         BenchMeta {
-            dataset_suite: "synthetic-smoke-v1",
+            dataset_suite: "synthetic-smoke-v2",
             threads: rayon::current_num_threads(),
             quick,
             git_rev: git_rev(),
@@ -95,7 +100,29 @@ struct GraphRow {
     edges: usize,
     support_merge_ms: f64,
     support_oriented_ms: f64,
+    support_cover_ms: f64,
     support_speedup: f64,
+    /// SIMD arms of the same kernels — present only when the binary was
+    /// compiled with `--features simd` (the runtime toggle benches both
+    /// arms from one binary).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    support_merge_simd_ms: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    support_oriented_simd_ms: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    support_cover_simd_ms: Option<f64>,
+    /// Fastest arm of the kernel × SIMD matrix on this graph shape (e.g.
+    /// `"cover-edge+simd"`), and its speedup over the scalar oriented
+    /// default.
+    support_best_kernel: String,
+    support_best_speedup_vs_oriented: f64,
+    /// Median `max/mean` busy-time ratio (×1000) across Support chunk
+    /// waves and peel frontier waves, from a dedicated traced run of the
+    /// oriented kernel + bucket peeler (absent if no wave was recorded).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    support_imbalance_x1000: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    peel_imbalance_x1000: Option<u64>,
     peel_scan_ms: f64,
     peel_bucket_ms: f64,
     peel_speedup: f64,
@@ -214,6 +241,15 @@ fn time_ms<T>(f: &mut impl FnMut() -> T) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
+/// Best wall time of a single arm over `reps` runs, in milliseconds.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(time_ms(&mut f));
+    }
+    best
+}
+
 /// Times two competing arms `reps` times each, interleaved (a, b, a, b, …)
 /// so slow machine-load drift hits both arms equally, and returns each
 /// arm's best wall time in milliseconds.
@@ -259,11 +295,13 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_ingest.json".to_string());
 
-    // Three regimes: a skewed R-MAT, many moderate overlapping cliques
+    // Four regimes: a skewed R-MAT, many moderate overlapping cliques
     // (DBLP-like average structure, where the triangle-once Support kernel
-    // shines), and a few very large cliques (DBLP's 119-author-paper tail —
+    // shines), a few very large cliques (DBLP's 119-author-paper tail —
     // max trussness past 100, where the scan seeder's O(m · k_max) rescans
-    // hurt most and the bucket queue shines).
+    // hurt most and the bucket queue shines), and a near-regular G(n, m)
+    // where degrees are concentrated and per-arc work is uniform — the
+    // shape where work-aware task splitting should change nothing.
     let (scale, n, noise, reps) = if quick {
         (13, 8_000, 16_000, 3)
     } else {
@@ -299,21 +337,68 @@ fn main() {
                 7,
             )),
         ),
+        (
+            "near-regular",
+            EdgeIndexedGraph::new(et_gen::gnm(n, n * 8, 21)),
+        ),
     ];
 
     let mut rows = Vec::new();
     for (name, g) in &graphs {
+        // Scalar arms of the kernel matrix (the toggle is a no-op in a
+        // scalar-only build).
+        et_triangle::set_simd_enabled(false);
         let (merge_ms, oriented_ms) = best_pair_ms(
             reps,
             || et_triangle::compute_support(g),
             || et_triangle::compute_support_oriented(g),
         );
+        let cover_ms = best_ms(reps, || et_triangle::compute_support_cover(g));
+
+        // SIMD arms from the same binary, via the runtime toggle.
+        let (merge_simd, oriented_simd, cover_simd) = if et_triangle::simd_compiled() {
+            et_triangle::set_simd_enabled(true);
+            let (m, o) = best_pair_ms(
+                reps,
+                || et_triangle::compute_support(g),
+                || et_triangle::compute_support_oriented(g),
+            );
+            let c = best_ms(reps, || et_triangle::compute_support_cover(g));
+            (Some(m), Some(o), Some(c))
+        } else {
+            (None, None, None)
+        };
+        et_triangle::set_simd_enabled(true);
+
         let support = et_triangle::compute_support_oriented(g);
         assert_eq!(
             support,
             et_triangle::compute_support(g),
             "{name}: oriented and merge kernels disagree"
         );
+        assert_eq!(
+            support,
+            et_triangle::compute_support_cover(g),
+            "{name}: cover-edge and oriented kernels disagree"
+        );
+
+        let mut arms: Vec<(&str, f64)> = vec![
+            ("merge", merge_ms),
+            ("oriented", oriented_ms),
+            ("cover-edge", cover_ms),
+        ];
+        if let (Some(m), Some(o), Some(c)) = (merge_simd, oriented_simd, cover_simd) {
+            arms.extend([
+                ("merge+simd", m),
+                ("oriented+simd", o),
+                ("cover-edge+simd", c),
+            ]);
+        }
+        let &(best_kernel, best_arm_ms) = arms
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty arm list");
+
         let (scan_ms, bucket_ms) = best_pair_ms(
             reps,
             || et_truss::parallel::decompose_parallel_scan_with_support(g, support.clone()),
@@ -324,11 +409,32 @@ fn main() {
             et_truss::parallel::decompose_parallel_scan_with_support(g, support.clone()),
             "{name}: bucket and scan peeling disagree"
         );
+
+        // Dedicated traced run so the wave-imbalance columns are always
+        // present (tracing adds overhead, so it never shares a run with
+        // the timed arms above).
+        let was_tracing = et_obs::enabled();
+        et_obs::set_enabled(true);
+        et_obs::reset();
+        let traced_support = et_triangle::compute_support_oriented(g);
+        std::hint::black_box(et_truss::parallel::decompose_parallel_with_support(
+            g,
+            traced_support,
+        ));
+        let snap = et_obs::snapshot();
+        let p50 = |metric: &str| snap.distribution(metric).map(|d| d.p50);
+        let support_imb = p50("par.imbalance_x1000.SupportChunks");
+        let peel_imb = p50("par.imbalance_x1000.PeelFrontier");
+        et_obs::reset();
+        et_obs::set_enabled(was_tracing);
+
         println!(
             "{name}: m={} support merge {merge_ms:.1}ms vs oriented {oriented_ms:.1}ms \
-             ({:.2}x) | peel scan {scan_ms:.1}ms vs bucket {bucket_ms:.1}ms ({:.2}x)",
+             ({:.2}x) vs cover {cover_ms:.1}ms | best {best_kernel} ({:.2}x vs oriented) | \
+             peel scan {scan_ms:.1}ms vs bucket {bucket_ms:.1}ms ({:.2}x)",
             g.num_edges(),
             merge_ms / oriented_ms,
+            oriented_ms / best_arm_ms,
             scan_ms / bucket_ms,
         );
         rows.push(GraphRow {
@@ -337,7 +443,15 @@ fn main() {
             edges: g.num_edges(),
             support_merge_ms: merge_ms,
             support_oriented_ms: oriented_ms,
+            support_cover_ms: cover_ms,
             support_speedup: merge_ms / oriented_ms,
+            support_merge_simd_ms: merge_simd,
+            support_oriented_simd_ms: oriented_simd,
+            support_cover_simd_ms: cover_simd,
+            support_best_kernel: best_kernel.to_string(),
+            support_best_speedup_vs_oriented: oriented_ms / best_arm_ms,
+            support_imbalance_x1000: support_imb,
+            peel_imbalance_x1000: peel_imb,
             peel_scan_ms: scan_ms,
             peel_bucket_ms: bucket_ms,
             peel_speedup: scan_ms / bucket_ms,

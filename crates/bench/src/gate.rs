@@ -171,8 +171,8 @@ impl GateReport {
             .max(6);
         let _ = writeln!(
             out,
-            "{:<width$}  {:>12}  {:>12}  {:>8}  {}",
-            "metric", "baseline", "current", "delta", "verdict"
+            "{:<width$}  {:>12}  {:>12}  {:>8}  verdict",
+            "metric", "baseline", "current", "delta"
         );
         for (i, row) in by_magnitude.iter().enumerate() {
             if i >= top && !row.regressed {

@@ -1,7 +1,8 @@
 //! `equitruss` — build, persist, inspect, and query EquiTruss indexes.
 
 use et_cli::{
-    cmd_build, cmd_generate, cmd_query, cmd_query_batch, cmd_stats, parse_engine, parse_variant,
+    cmd_build, cmd_generate, cmd_query, cmd_query_batch, cmd_stats, parse_engine,
+    parse_support_kernel, parse_variant,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,6 +13,7 @@ fn usage() -> ! {
          equitruss generate <profile> [--scale F] -o <graph.{{txt|bin}}>\n  \
          equitruss stats <graph>\n  \
          equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
+         \x20               [--support-kernel oriented|merge|cover-edge]\n  \
          equitruss query <graph> <index.etidx> -v <vertex> -k <level> [--engine hierarchy|bfs]\n  \
          equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n\n\
          options (any command):\n  \
@@ -84,10 +86,21 @@ fn main() -> ExitCode {
                 },
                 None => et_core::Variant::Afforest,
             };
+            let kernel = match get_flag("support-kernel") {
+                Some(k) => match parse_support_kernel(&k) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => et_core::SupportKernel::default(),
+            };
             cmd_build(
                 &PathBuf::from(graph),
                 &PathBuf::from(require_flag("o")),
                 variant,
+                kernel,
             )
         }
         "query" => {

@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-use et_core::{build_index, io as index_io, IndexStats, Variant};
+use et_core::{build_index, io as index_io, IndexStats, SupportKernel, Variant};
 use et_graph::{io as graph_io, EdgeIndexedGraph, GraphStats};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -42,6 +42,18 @@ pub fn parse_variant(name: &str) -> Result<Variant, String> {
         "afforest" | "aff" => Ok(Variant::Afforest),
         other => Err(format!(
             "unknown variant {other:?} (expected baseline | coptimal | afforest)"
+        )),
+    }
+}
+
+/// Parses a Support kernel name (`oriented` / `merge` / `cover-edge`).
+pub fn parse_support_kernel(name: &str) -> Result<SupportKernel, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "oriented" => Ok(SupportKernel::Oriented),
+        "merge" => Ok(SupportKernel::Merge),
+        "cover-edge" | "cover" | "ce" => Ok(SupportKernel::CoverEdge),
+        other => Err(format!(
+            "unknown support kernel {other:?} (expected oriented | merge | cover-edge)"
         )),
     }
 }
@@ -111,11 +123,24 @@ pub fn cmd_stats(graph_path: &Path) -> CliResult {
     Ok(out)
 }
 
-/// `build <graph> -o <index> [--variant V]`: constructs and persists.
-pub fn cmd_build(graph_path: &Path, out: &Path, variant: Variant) -> CliResult {
+/// `build <graph> -o <index> [--variant V] [--support-kernel K]`: constructs
+/// and persists.
+pub fn cmd_build(
+    graph_path: &Path,
+    out: &Path,
+    variant: Variant,
+    kernel: SupportKernel,
+) -> CliResult {
     let graph = load_graph(graph_path)?;
     let t0 = std::time::Instant::now();
-    let decomposition = et_truss::decompose_parallel(&graph);
+    let support = {
+        let _span = et_obs::span("Support");
+        kernel.compute(&graph)
+    };
+    let decomposition = {
+        let _span = et_obs::span("TrussDecomp");
+        et_truss::parallel::decompose_parallel_with_support(&graph, support)
+    };
     let mut timings = et_core::KernelTimings::default();
     let index =
         et_core::build_index_with_decomposition(&graph, &decomposition, variant, &mut timings);
@@ -345,7 +370,7 @@ mod tests {
         let stats = cmd_stats(&graph).unwrap();
         assert!(stats.contains("supernodes"));
 
-        let built = cmd_build(&graph, &index, Variant::Afforest).unwrap();
+        let built = cmd_build(&graph, &index, Variant::Afforest, SupportKernel::default()).unwrap();
         assert!(built.contains("Afforest"));
 
         // Find a vertex with a community to query.
@@ -370,7 +395,7 @@ mod tests {
         let index = dir.join("bq.etidx");
         let batch = dir.join("bq.queries");
         cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
-        cmd_build(&graph, &index, Variant::Afforest).unwrap();
+        cmd_build(&graph, &index, Variant::Afforest, SupportKernel::default()).unwrap();
         let g = load_graph(&graph).unwrap();
         let q = (0..g.num_vertices() as u32)
             .max_by_key(|&u| g.degree(u))
@@ -429,8 +454,44 @@ mod tests {
         let idx = dir.join("g1.etidx");
         cmd_generate("dblp", 1.0 / 64.0, &g1).unwrap();
         cmd_generate("amazon", 1.0 / 64.0, &g2).unwrap();
-        cmd_build(&g1, &idx, Variant::COptimal).unwrap();
+        cmd_build(&g1, &idx, Variant::COptimal, SupportKernel::default()).unwrap();
         assert!(cmd_query(&g2, &idx, 0, 3, QueryEngine::Hierarchy).is_err());
+    }
+
+    #[test]
+    fn support_kernel_parsing() {
+        assert_eq!(
+            parse_support_kernel("oriented").unwrap(),
+            SupportKernel::Oriented
+        );
+        assert_eq!(parse_support_kernel("MERGE").unwrap(), SupportKernel::Merge);
+        for alias in ["cover-edge", "cover", "ce"] {
+            assert_eq!(
+                parse_support_kernel(alias).unwrap(),
+                SupportKernel::CoverEdge,
+                "{alias}"
+            );
+        }
+        assert!(parse_support_kernel("simd").is_err());
+    }
+
+    #[test]
+    fn builds_agree_across_support_kernels() {
+        // Every Support kernel yields a bit-identical support vector, and
+        // everything downstream is deterministic — so the persisted index
+        // files must match byte for byte.
+        let dir = tmp_dir();
+        let graph = dir.join("sk.txt");
+        cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
+        let files: Vec<Vec<u8>> = SupportKernel::ALL
+            .iter()
+            .map(|&k| {
+                let idx = dir.join(format!("sk-{}.etidx", k.name()));
+                cmd_build(&graph, &idx, Variant::Afforest, k).unwrap();
+                std::fs::read(&idx).unwrap()
+            })
+            .collect();
+        assert!(files.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

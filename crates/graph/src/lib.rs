@@ -43,6 +43,7 @@ pub mod io;
 pub mod ordering;
 pub mod oriented;
 pub mod packed;
+pub mod schedule;
 pub mod stats;
 pub mod view;
 

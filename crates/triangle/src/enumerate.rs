@@ -11,8 +11,10 @@ use et_graph::{EdgeId, EdgeIndexedGraph, VertexId};
 /// Invokes `f(w, e1, e2)` for every triangle `{e, (u,w), (v,w)}` containing
 /// edge `e = (u, v)`, where `e1 = id(u, w)` and `e2 = id(v, w)`.
 ///
-/// Cost: one linear merge of `N(u)` and `N(v)` — no hashing, no binary
-/// search; the per-arc edge ids ride along with the merge.
+/// Cost: one adaptive intersection of `N(u)` and `N(v)` — merge, gallop, or
+/// their SIMD variants per [`crate::intersect::intersect_matches`]; no
+/// hashing, no per-match binary search; the per-arc edge ids ride along via
+/// the reported index pairs.
 #[inline]
 pub fn for_each_triangle_of_edge<F>(graph: &EdgeIndexedGraph, e: EdgeId, mut f: F)
 where
@@ -23,18 +25,7 @@ where
     let nv = graph.neighbors(v);
     let eu = graph.arc_eids(u);
     let ev = graph.arc_eids(v);
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < nu.len() && j < nv.len() {
-        match nu[i].cmp(&nv[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                f(nu[i], eu[i], ev[j]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    crate::intersect::intersect_matches(nu, nv, |i, j| f(nu[i], eu[i], ev[j]));
 }
 
 /// Trussness-filtered triangle enumeration: invokes `f` only for triangles

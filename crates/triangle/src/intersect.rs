@@ -1,15 +1,63 @@
 //! Sorted-set intersection kernels.
 //!
 //! The Support kernel is dominated by adjacency-list intersections; the best
-//! strategy depends on the length ratio of the two lists. Three kernels are
-//! provided plus an adaptive dispatcher ([`intersect_into`] /
-//! [`intersect_count`]) that switches to galloping when the lists are very
-//! unbalanced — the regime of skewed social graphs.
+//! strategy depends on the length ratio of the two lists. Scalar merge,
+//! binary-probe, and galloping kernels are provided plus an adaptive
+//! dispatcher ([`intersect_into`] / [`intersect_count`] /
+//! [`intersect_matches`]) that switches to galloping when the lists are very
+//! unbalanced — the regime of skewed social graphs. With the `simd` cargo
+//! feature the dispatcher routes balanced lists through the block-compare
+//! merge and lopsided ones through the vectorized galloping probe of
+//! [`crate::simd`]; [`set_simd_enabled`] can switch the vector paths off at
+//! runtime so benchmarks and tests can compare both inside one binary. All
+//! kernels assume strictly increasing, duplicate-free inputs and produce
+//! identical results on them.
 
 use et_graph::VertexId;
 
 /// Length-ratio threshold above which galloping beats merging.
-const GALLOP_RATIO: usize = 32;
+///
+/// Set from the `support_kernels/gallop_ratio` criterion sweep (see
+/// `crates/bench/benches/support.rs`): on |small| = 256 random sets the
+/// scalar merge wins through ratio ≈ 12 (gallop 1.08x slower), the two
+/// break even at ratio 16 (within 2%), and galloping wins from ratio 24 on
+/// (1.4x at 24, 4x at 128). The SIMD block merge shifts the crossover
+/// slightly higher, so 16 is the break-even choice for both builds.
+pub const GALLOP_RATIO: usize = 16;
+
+#[cfg(feature = "simd")]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Runtime switch for the SIMD paths (meaningful only with the `simd`
+/// feature; default on). Lets one binary time scalar vs vector kernels.
+#[cfg(feature = "simd")]
+static SIMD_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the SIMD intersection paths at runtime. A no-op
+/// without the `simd` cargo feature.
+pub fn set_simd_enabled(on: bool) {
+    #[cfg(feature = "simd")]
+    SIMD_ENABLED.store(on, Ordering::Relaxed);
+    #[cfg(not(feature = "simd"))]
+    let _ = on;
+}
+
+/// Whether this build carries the SIMD kernels (`simd` cargo feature).
+pub const fn simd_compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Whether the adaptive dispatchers currently route through the SIMD
+/// kernels: compiled in *and* runtime-enabled.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(feature = "simd")]
+    {
+        SIMD_ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "simd"))]
+    false
+}
 
 /// Linear merge intersection; appends common elements to `out`.
 pub fn merge_intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
@@ -45,6 +93,26 @@ pub fn merge_intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
     c
 }
 
+/// Linear merge intersection reporting matched *index pairs*: invokes
+/// `f(i, j)` for every `a[i] == b[j]`, in ascending order. This is the
+/// kernel shape the triangle enumerations need — the indices address the
+/// per-arc edge-id arrays that ride alongside adjacency lists.
+#[inline]
+pub fn merge_matches(a: &[VertexId], b: &[VertexId], mut f: impl FnMut(usize, usize)) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(i, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
 /// Binary-probe intersection: for each element of the smaller list `small`,
 /// binary-search the larger list. O(|small| · log |large|).
 pub fn binary_intersect_into(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
@@ -73,6 +141,41 @@ pub fn gallop_intersect_into(small: &[VertexId], large: &[VertexId], out: &mut V
     }
 }
 
+/// Allocation-free galloping intersection count (the gallop twin of
+/// [`merge_intersect_count`] — no scratch buffer, no writes).
+pub fn gallop_intersect_count(small: &[VertexId], large: &[VertexId]) -> usize {
+    let mut base = 0usize;
+    let mut count = 0usize;
+    for &x in small {
+        base = gallop_to(large, base, x);
+        if base >= large.len() {
+            break;
+        }
+        if large[base] == x {
+            count += 1;
+            base += 1;
+        }
+    }
+    count
+}
+
+/// Galloping intersection reporting matched index pairs `(i_small, j_large)`
+/// in ascending order.
+#[inline]
+pub fn gallop_matches(small: &[VertexId], large: &[VertexId], mut f: impl FnMut(usize, usize)) {
+    let mut base = 0usize;
+    for (i, &x) in small.iter().enumerate() {
+        base = gallop_to(large, base, x);
+        if base >= large.len() {
+            break;
+        }
+        if large[base] == x {
+            f(i, base);
+            base += 1;
+        }
+    }
+}
+
 /// First index `i >= from` with `large[i] >= x` (or `large.len()`), found by
 /// exponential probing followed by a bounded partition-point search.
 #[inline]
@@ -89,35 +192,90 @@ fn gallop_to(large: &[VertexId], from: usize, x: VertexId) -> usize {
     lo + large[lo..hi].partition_point(|&y| y < x)
 }
 
+/// Whether the adaptive dispatcher picks galloping for these lengths.
+#[inline]
+fn gallop_wins(small_len: usize, large_len: usize) -> bool {
+    large_len / small_len.max(1) >= GALLOP_RATIO
+}
+
 /// Adaptive intersection into a buffer: merge when balanced, gallop when
-/// lopsided. `a` and `b` may be given in either order.
+/// lopsided (SIMD variants of both when compiled and enabled). `a` and `b`
+/// may be given in either order.
 #[inline]
 pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
         return;
     }
-    if large.len() / small.len().max(1) >= GALLOP_RATIO {
+    #[cfg(feature = "simd")]
+    if simd_active() {
+        if gallop_wins(small.len(), large.len()) {
+            crate::simd::gallop_into(small, large, out);
+        } else {
+            crate::simd::merge_into(small, large, out);
+        }
+        return;
+    }
+    if gallop_wins(small.len(), large.len()) {
         gallop_intersect_into(small, large, out);
     } else {
         merge_intersect_into(small, large, out);
     }
 }
 
-/// Adaptive intersection count.
+/// Adaptive intersection count. Allocation-free on every path.
 #[inline]
 pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
         return 0;
     }
-    if large.len() / small.len().max(1) >= GALLOP_RATIO {
-        let mut buf = Vec::with_capacity(small.len().min(8));
-        gallop_intersect_into(small, large, &mut buf);
-        buf.len()
+    #[cfg(feature = "simd")]
+    if simd_active() {
+        return if gallop_wins(small.len(), large.len()) {
+            crate::simd::gallop_count(small, large)
+        } else {
+            crate::simd::merge_count(small, large)
+        };
+    }
+    if gallop_wins(small.len(), large.len()) {
+        gallop_intersect_count(small, large)
     } else {
         merge_intersect_count(small, large)
     }
+}
+
+/// Adaptive index-pair intersection: invokes `f(i, j)` for every
+/// `a[i] == b[j]` in ascending order, choosing merge or gallop (and their
+/// SIMD variants) by the length ratio. Unlike [`intersect_into`], the
+/// reported indices always refer to `a` and `b` *as given* — the dispatcher
+/// un-swaps them when galloping from the smaller side.
+#[inline]
+pub fn intersect_matches(a: &[VertexId], b: &[VertexId], mut f: impl FnMut(usize, usize)) {
+    let (small_is_a, small, large) = if a.len() <= b.len() {
+        (true, a, b)
+    } else {
+        (false, b, a)
+    };
+    if small.is_empty() {
+        return;
+    }
+    if gallop_wins(small.len(), large.len()) {
+        let relay = |i: usize, j: usize| if small_is_a { f(i, j) } else { f(j, i) };
+        #[cfg(feature = "simd")]
+        if simd_active() {
+            crate::simd::gallop_matches(small, large, relay);
+            return;
+        }
+        gallop_matches(small, large, relay);
+        return;
+    }
+    #[cfg(feature = "simd")]
+    if simd_active() {
+        crate::simd::merge_matches(a, b, f);
+        return;
+    }
+    merge_matches(a, b, f);
 }
 
 #[cfg(test)]
@@ -130,6 +288,11 @@ mod tests {
         assert_eq!(out, expected, "merge failed");
         assert_eq!(merge_intersect_count(a, b), expected.len());
 
+        let mut pairs = Vec::new();
+        merge_matches(a, b, |i, j| pairs.push((i, j)));
+        assert!(pairs.iter().all(|&(i, j)| a[i] == b[j]), "merge_matches");
+        assert_eq!(pairs.len(), expected.len());
+
         let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
         out.clear();
         binary_intersect_into(small, large, &mut out);
@@ -138,11 +301,29 @@ mod tests {
         out.clear();
         gallop_intersect_into(small, large, &mut out);
         assert_eq!(out, expected, "gallop failed");
+        assert_eq!(gallop_intersect_count(small, large), expected.len());
+
+        pairs.clear();
+        gallop_matches(small, large, |i, j| pairs.push((i, j)));
+        assert!(
+            pairs.iter().all(|&(i, j)| small[i] == large[j]),
+            "gallop_matches"
+        );
+        assert_eq!(pairs.len(), expected.len());
 
         out.clear();
         intersect_into(a, b, &mut out);
         assert_eq!(out, expected, "adaptive failed");
         assert_eq!(intersect_count(a, b), expected.len());
+
+        pairs.clear();
+        intersect_matches(a, b, |i, j| pairs.push((i, j)));
+        assert!(
+            pairs.iter().all(|&(i, j)| a[i] == b[j]),
+            "intersect_matches"
+        );
+        assert_eq!(pairs.len(), expected.len());
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -180,6 +361,22 @@ mod tests {
         let small: Vec<VertexId> = vec![50, 200];
         let large: Vec<VertexId> = (0..100).collect();
         check_all(&small, &large, &[50]);
+    }
+
+    #[test]
+    fn simd_toggle_roundtrip() {
+        // Dispatchers agree with the scalar oracle whichever way the
+        // runtime switch points; the switch itself only matters when the
+        // `simd` feature is compiled in.
+        let a: Vec<VertexId> = (0..100).map(|x| x * 2).collect();
+        let b: Vec<VertexId> = (0..150).map(|x| x * 3).collect();
+        let expected = merge_intersect_count(&a, &b);
+        set_simd_enabled(false);
+        assert!(!simd_active());
+        assert_eq!(intersect_count(&a, &b), expected);
+        set_simd_enabled(true);
+        assert_eq!(simd_active(), simd_compiled());
+        assert_eq!(intersect_count(&a, &b), expected);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   test oracle and the "Original" timing reference),
 //! * [`oriented`] — the triangle-once Support kernel over the degree-ordered
 //!   DAG of [`et_graph::OrientedGraph`] (default in the pipeline),
+//! * [`cover`] — the cover-edge Support kernel (BFS-level cover set, each
+//!   triangle enumerated exactly once, no orientation pass),
 //! * [`count`] — global triangle counting (node- and edge-iterator),
 //! * [`enumerate`] — per-edge triangle enumeration used by the SpNode /
 //!   SpEdge kernels, including the trussness-filtered variant that realizes
@@ -20,12 +22,17 @@
 #![warn(missing_docs)]
 
 pub mod count;
+pub mod cover;
 pub mod enumerate;
 pub mod intersect;
 pub mod oriented;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod support;
 
 pub use count::{count_triangles, count_triangles_per_vertex};
+pub use cover::compute_support_cover;
 pub use enumerate::{for_each_triangle_of_edge, for_each_truss_triangle_of_edge};
+pub use intersect::{set_simd_enabled, simd_active, simd_compiled};
 pub use oriented::{compute_support_oriented, compute_support_with_oriented};
 pub use support::{compute_support, compute_support_serial};

@@ -11,17 +11,50 @@
 //! the resulting support vector is bit-identical to the merge kernel's no
 //! matter how threads interleave.
 //!
-//! Work is split by fixed-size chunks of *oriented arcs*, not edges: a hub
-//! row (thousands of arcs) is spread across many chunks instead of
-//! serializing inside one per-edge task, which is what makes the kernel scale
-//! on skewed (R-MAT-like) degree distributions.
+//! Work is split over *oriented arcs*, not edges: a hub row (thousands of
+//! arcs) is spread across many tasks instead of serializing inside one
+//! per-edge task. Task boundaries are work-aware ([`et_graph::schedule`]):
+//! each arc is weighted by the size of the merge it will run
+//! (`|out(u)| + |out(v)|`), the weights are prefix-summed, and boundaries
+//! fall on the work quantiles — so a task full of hub arcs covers few of
+//! them and a task of leaf arcs covers many, keeping
+//! `par.imbalance_x1000.SupportChunks` flat on skewed (R-MAT-like) degree
+//! distributions where fixed-size chunks idle the pool.
 
-use et_graph::{EdgeIndexedGraph, OrientedGraph};
+use crate::intersect::intersect_matches;
+use et_graph::{schedule, EdgeIndexedGraph, OrientedGraph};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Number of oriented arcs per parallel work unit.
-const ARC_CHUNK: usize = 2048;
+/// Tasks per worker for the arc wave.
+const TASKS_PER_THREAD: usize = 8;
+
+/// Per-arc work estimates for the oriented merge: `1 + |out(u)| + |out(v)|`
+/// for an arc `u → v`. Filled row by row so no per-arc row lookup is needed.
+fn arc_work(oriented: &OrientedGraph) -> Vec<u64> {
+    let offsets = oriented.offsets();
+    let targets = oriented.raw_targets();
+    let mut work = vec![0u64; oriented.num_arcs()];
+    let rows: Vec<(usize, &mut [u64])> = {
+        let mut rows = Vec::with_capacity(offsets.len() - 1);
+        let mut rest = work.as_mut_slice();
+        for r in 0..offsets.len() - 1 {
+            let (head, tail) = rest.split_at_mut(offsets[r + 1] - offsets[r]);
+            rows.push((r, head));
+            rest = tail;
+        }
+        rows
+    };
+    rows.into_par_iter().for_each(|(r, row)| {
+        let out_u = row.len() as u64;
+        let base = offsets[r];
+        for (k, w) in row.iter_mut().enumerate() {
+            let s = targets[base + k] as usize;
+            *w = 1 + out_u + (offsets[s + 1] - offsets[s]) as u64;
+        }
+    });
+    work
+}
 
 /// Computes `support(e)` for every edge id by triangle-once oriented
 /// enumeration. Builds the DAG view internally; use
@@ -42,14 +75,17 @@ pub fn compute_support_with_oriented(
     let m = graph.num_edges();
     let support: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
     let num_arcs = oriented.num_arcs();
-    let num_chunks = num_arcs.div_ceil(ARC_CHUNK);
+    let work = arc_work(oriented);
+    let tasks = schedule::ranges_from_work(
+        &work,
+        schedule::default_tasks_per_thread(num_arcs, TASKS_PER_THREAD),
+    );
     let tracing = et_obs::enabled();
     let wave = et_obs::wave("SupportChunks");
 
-    (0..num_chunks).into_par_iter().for_each(|chunk| {
+    tasks.into_par_iter().for_each(|range| {
         let _task = wave.task();
-        let lo = chunk * ARC_CHUNK;
-        let hi = (lo + ARC_CHUNK).min(num_arcs);
+        let (lo, hi) = (range.start, range.end);
         let offsets = oriented.offsets();
         let targets = oriented.raw_targets();
         let eids = oriented.raw_arc_eids();
@@ -68,24 +104,15 @@ pub fn compute_support_with_oriented(
             let (row_u, eids_u) = (oriented.row(r), oriented.row_eids(r));
             // Common targets have rank > s, so skip u's out-arcs up to s
             // (this arc itself included) before the merge.
-            let mut i = row_u.partition_point(|&t| t as usize <= s);
-            let mut j = 0usize;
+            let skip = row_u.partition_point(|&t| t as usize <= s);
             let mut found = 0u32;
-            while i < row_u.len() && j < row_v.len() {
-                match row_u[i].cmp(&row_v[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        // Triangle (r, s, row_u[i]): bump the two wing edges
-                        // now, the base edge once after the merge.
-                        support[eids_u[i] as usize].fetch_add(1, Ordering::Relaxed);
-                        support[eids_v[j] as usize].fetch_add(1, Ordering::Relaxed);
-                        found += 1;
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
+            intersect_matches(&row_u[skip..], row_v, |i, j| {
+                // Triangle (r, s, row_u[skip + i]): bump the two wing edges
+                // now, the base edge once after the merge.
+                support[eids_u[skip + i] as usize].fetch_add(1, Ordering::Relaxed);
+                support[eids_v[j] as usize].fetch_add(1, Ordering::Relaxed);
+                found += 1;
+            });
             if found > 0 {
                 support[eids[a] as usize].fetch_add(found, Ordering::Relaxed);
                 triangles += found as u64;

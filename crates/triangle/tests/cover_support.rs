@@ -1,0 +1,72 @@
+//! Cover-edge Support kernel equality across graph families and pool
+//! widths: the cover-edge kernel must be bit-identical to the merge oracle
+//! and the oriented kernel on every fixture, on skewed R-MAT graphs, and on
+//! planted-clique / clustered graphs, at 1 and 4 rayon threads.
+
+use et_graph::EdgeIndexedGraph;
+use et_triangle::{compute_support, compute_support_cover, compute_support_oriented};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn assert_kernels_agree(g: &EdgeIndexedGraph, label: &str) {
+    let oracle = compute_support(g);
+    for threads in [1, 4] {
+        let (cover, oriented) =
+            pool(threads).install(|| (compute_support_cover(g), compute_support_oriented(g)));
+        assert_eq!(
+            cover, oracle,
+            "{label}: cover != merge at {threads} threads"
+        );
+        assert_eq!(
+            oriented, oracle,
+            "{label}: oriented != merge at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn agrees_on_all_fixtures() {
+    for f in et_gen::fixtures::all_fixtures() {
+        let g = EdgeIndexedGraph::new(f.graph.clone());
+        assert_kernels_agree(&g, f.name);
+    }
+}
+
+#[test]
+fn agrees_on_skewed_rmat() {
+    for seed in [1, 9, 23] {
+        let g = EdgeIndexedGraph::new(et_gen::rmat_small(9, 8, seed));
+        assert_kernels_agree(&g, &format!("rmat seed {seed}"));
+    }
+}
+
+#[test]
+fn agrees_on_planted_cliques() {
+    // Planted-clique-style clustered graphs: dense blocks where the flat
+    // (all-same-BFS-level) triangle tiebreak carries most of the load.
+    for seed in [2, 13] {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(250, 50, (4, 9), 100, seed));
+        assert_kernels_agree(&g, &format!("cliques seed {seed}"));
+    }
+    let (pp, _) = et_gen::planted_partition(et_gen::PlantedConfig {
+        num_blocks: 6,
+        block_size: 40,
+        p_in: 0.5,
+        p_out: 0.01,
+        seed: 5,
+    });
+    assert_kernels_agree(&EdgeIndexedGraph::new(pp), "planted partition");
+}
+
+#[test]
+fn agrees_on_sparse_random() {
+    for seed in 0..4 {
+        let g = EdgeIndexedGraph::new(et_gen::gnp(400, 0.01, seed));
+        assert_kernels_agree(&g, &format!("gnp seed {seed}"));
+    }
+}

@@ -27,7 +27,7 @@
 //! decrement).
 
 use crate::TrussDecomposition;
-use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_graph::{schedule, EdgeId, EdgeIndexedGraph};
 use et_triangle::{compute_support_oriented, for_each_triangle_of_edge};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
@@ -45,11 +45,14 @@ const QUEUED: u8 = 1 << 2;
 /// rounds gets exactly one new bucket entry. Cleared at level-end repair.
 const MOVED: u8 = 1 << 3;
 
-/// Frontier edges per peel work unit. Fixed-size chunks (instead of rayon's
-/// adaptive splitting) give each task a comparable amount of triangle work,
-/// which is what makes the `PeelFrontier` occupancy/imbalance telemetry
-/// meaningful.
-const PEEL_CHUNK: usize = 256;
+/// Frontier size below which a round runs as one task: the per-task
+/// bookkeeping (range build + wave guard) would dwarf the triangle work.
+const SMALL_FRONTIER: usize = 256;
+
+/// Tasks per worker for a peel round. Rounds repeat thousands of times, so
+/// the multiplier is lower than the Support kernel's: enough slack to absorb
+/// estimate error, not enough to drown short rounds in task overhead.
+const PEEL_TASKS_PER_THREAD: usize = 4;
 
 /// Parallel level-synchronous truss decomposition.
 ///
@@ -147,12 +150,28 @@ pub fn decompose_parallel_with_support(
             // round's frontier, exactly-once via the floor-hitting CAS);
             // `moved` collects edges whose support dropped but stayed above
             // the floor, for lazy bucket repair at level end.
-            let parts: Vec<(Vec<EdgeId>, Vec<EdgeId>)> = frontier
-                .par_chunks(PEEL_CHUNK)
+            // Work-aware task cuts: weight each frontier edge by its
+            // intersection cost (degree sum), so a round dominated by a few
+            // hub edges still spreads across the pool instead of stalling
+            // behind one fixed-size chunk that drew all the hubs.
+            let tasks = if frontier.len() <= SMALL_FRONTIER {
+                std::iter::once(0..frontier.len()).collect()
+            } else {
+                schedule::balanced_ranges(
+                    frontier.len(),
+                    schedule::default_tasks_per_thread(frontier.len(), PEEL_TASKS_PER_THREAD),
+                    |i| {
+                        let (u, v) = graph.endpoints(frontier[i]);
+                        1 + graph.degree(u) as u64 + graph.degree(v) as u64
+                    },
+                )
+            };
+            let parts: Vec<(Vec<EdgeId>, Vec<EdgeId>)> = tasks
+                .into_par_iter()
                 .map(|job| {
                     let _task = wave.task();
                     let mut acc = (Vec::new(), Vec::new());
-                    for &e in job {
+                    for &e in &frontier[job] {
                         for_each_triangle_of_edge(graph, e, |_, e1, e2| {
                             let (i1, i2) = (e1 as usize, e2 as usize);
                             let s1 = state[i1].load(Ordering::Relaxed);
