@@ -97,13 +97,16 @@ fn load_current(paths: &[(&'static str, String)]) -> Result<Value, String> {
             match &meta {
                 None => meta = Some(stamp.clone()),
                 Some(first) => {
-                    let mismatches = gate::check_meta(&wrap_meta(first), &wrap_meta(stamp));
-                    if !mismatches.is_empty() {
+                    let check = gate::check_meta(&wrap_meta(first), &wrap_meta(stamp));
+                    if !check.fatal.is_empty() {
                         return Err(format!(
                             "artifact {path} was produced under a different configuration \
                              than the other artifacts: {}",
-                            mismatches.join("; ")
+                            check.fatal.join("; ")
                         ));
+                    }
+                    for w in &check.warnings {
+                        println!("warning: artifact {path}: {w}");
                     }
                 }
             }
@@ -146,17 +149,22 @@ fn run() -> Result<ExitCode, String> {
     let baseline: Value =
         serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", args.baseline))?;
 
-    let meta_errors = gate::check_meta(&baseline, &current);
-    if !meta_errors.is_empty() {
+    let meta_check = gate::check_meta(&baseline, &current);
+    // A dataset-suite bump only warns: the rows from the new suite appear as
+    // "new metric (no baseline)" lines instead of blocking the diff.
+    for w in &meta_check.warnings {
+        println!("warning: {w}");
+    }
+    if !meta_check.fatal.is_empty() {
         if args.allow_meta_mismatch {
-            for e in &meta_errors {
+            for e in &meta_check.fatal {
                 println!("warning (ignored by --allow-meta-mismatch): {e}");
             }
         } else {
             return Err(format!(
                 "refusing to diff incompatible runs:\n  {}\n\
                  (pass --allow-meta-mismatch to compare anyway)",
-                meta_errors.join("\n  ")
+                meta_check.fatal.join("\n  ")
             ));
         }
     }

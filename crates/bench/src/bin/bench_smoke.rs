@@ -23,8 +23,13 @@
 //! loader, in MB/s at 1 and 4 rayon threads, with a parallel == serial
 //! identity assertion on the parsed edge list.
 //!
-//! Usage: `bench_smoke [--quick] [--out PATH] [--index-out PATH]
+//! Usage: `bench_smoke [--quick] [--large] [--out PATH] [--index-out PATH]
 //! [--query-out PATH] [--ingest-out PATH]`
+//!
+//! `--large` appends the s20 R-MAT at LiveJournal's degree profile (from
+//! `et_bench::datasets::LARGE_PROFILES`) to the support matrix and uses it
+//! as the ingest graph, adding large-graph rows to `BENCH_support.json` and
+//! `BENCH_ingest.json` — the CI large-graph job runs `--quick --large`.
 //!
 //! Every artifact carries a `meta` stamp (dataset suite, thread count, git
 //! revision, `--quick` flag, ET_TRACE/ET_MEM state) so the `bench_report`
@@ -37,7 +42,7 @@ use et_core::{
     build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, TrussHierarchy,
     Variant,
 };
-use et_graph::{io as graph_io, EdgeIndexedGraph};
+use et_graph::{io as graph_io, Backend, EdgeIndexedGraph};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
@@ -60,9 +65,15 @@ struct BenchMeta {
 }
 
 impl BenchMeta {
-    fn capture(quick: bool) -> Self {
+    fn capture(quick: bool, large: bool) -> Self {
         BenchMeta {
-            dataset_suite: "synthetic-smoke-v2",
+            // `--large` extends the suite with the s20 R-MAT rows, so runs
+            // with and without it are different (warn-level) suites.
+            dataset_suite: if large {
+                "synthetic-smoke-v2+large-s20"
+            } else {
+                "synthetic-smoke-v2"
+            },
             threads: rayon::current_num_threads(),
             quick,
             git_rev: git_rev(),
@@ -219,6 +230,11 @@ struct IngestThreadRow {
     text_parallel_mbps: f64,
     text_parallel_speedup: f64,
     binary_mbps: f64,
+    /// Zero-copy load of the same binary file (`Backend::Mapped`: map +
+    /// validate in place, no array copied to the heap). Absent on targets
+    /// without mmap support.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    binary_mmap_mbps: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -273,7 +289,8 @@ fn main() {
     et_obs::init_mem_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let meta = BenchMeta::capture(quick);
+    let large = args.iter().any(|a| a == "--large");
+    let meta = BenchMeta::capture(quick, large);
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -312,7 +329,7 @@ fn main() {
     } else {
         (9_000, 450, 120)
     };
-    let graphs: Vec<(&str, EdgeIndexedGraph)> = vec![
+    let mut graphs: Vec<(&str, EdgeIndexedGraph)> = vec![
         (
             "rmat",
             EdgeIndexedGraph::new(et_gen::rmat_small(scale, 8, 42)),
@@ -342,6 +359,16 @@ fn main() {
             EdgeIndexedGraph::new(et_gen::gnm(n, n * 8, 21)),
         ),
     ];
+    // `--large` appends the s20 R-MAT at LiveJournal's degree profile to
+    // the Support/peeling matrix (and switches the ingest graph below). The
+    // index/query sections keep the base set — their variant × schedule ×
+    // reps product would dominate the job at s20.
+    let base_graphs = graphs.len();
+    if large {
+        let path = et_bench::datasets::large_dataset_path("rmat-lj-s20");
+        let g = graph_io::read_binary(&path).expect("large dataset loads");
+        graphs.push(("rmat-lj-s20", EdgeIndexedGraph::new(g)));
+    }
 
     let mut rows = Vec::new();
     for (name, g) in &graphs {
@@ -474,7 +501,7 @@ fn main() {
     // shared decomposition per graph so only SpNode/SpEdge/SmGraph differ.
     let mut widths = Vec::new();
     let mut index_rows = Vec::new();
-    for (name, g) in &graphs {
+    for (name, g) in &graphs[..base_graphs] {
         let d = et_truss::decompose_parallel(g);
         let phi = PhiGroups::build(&d.trussness);
         widths.push(WaveWidth {
@@ -573,7 +600,7 @@ fn main() {
     let k = 4u32;
     let workload_size = if quick { 64 } else { 256 };
     let mut query_rows = Vec::new();
-    for (name, g) in &graphs {
+    for (name, g) in &graphs[..base_graphs] {
         let d = et_truss::decompose_parallel(g);
         let mut t = KernelTimings::default();
         let index = build_index_with_decomposition_scheduled(
@@ -702,11 +729,24 @@ fn main() {
     // the serial parser's EdgeList exactly, and both roundtrips must
     // reproduce the generated graph.
     let ingest_scale = if quick { 13 } else { 16 };
-    let ingest_graph = et_gen::rmat_small(ingest_scale, 8, 42);
+    let (ingest_name, ingest_graph) = if large {
+        // The s20 LiveJournal-profile R-MAT: same file the support matrix
+        // used, loaded from the suite cache.
+        let path = et_bench::datasets::large_dataset_path("rmat-lj-s20");
+        (
+            "rmat-lj-s20".to_string(),
+            graph_io::read_binary(&path).expect("large dataset loads"),
+        )
+    } else {
+        (
+            format!("rmat-s{ingest_scale}"),
+            et_gen::rmat_small(ingest_scale, 8, 42),
+        )
+    };
     let dir = std::env::temp_dir().join("et-bench-ingest");
     std::fs::create_dir_all(&dir).expect("ingest scratch dir");
-    let text_path = dir.join(format!("rmat-s{ingest_scale}.txt"));
-    let bin_path = dir.join(format!("rmat-s{ingest_scale}.bin"));
+    let text_path = dir.join(format!("{ingest_name}.txt"));
+    let bin_path = dir.join(format!("{ingest_name}.bin"));
     graph_io::write_text_edge_list(&ingest_graph, &text_path).expect("write text");
     graph_io::write_binary(&ingest_graph, &bin_path).expect("write binary");
     let text_bytes = std::fs::read(&text_path).expect("read text back");
@@ -731,6 +771,13 @@ fn main() {
         ingest_graph,
         "binary roundtrip diverges from the generated graph"
     );
+    if et_graph::buf::ZERO_COPY_TARGET {
+        assert_eq!(
+            graph_io::read_binary_with(&bin_path, Backend::Mapped).expect("mapped load"),
+            ingest_graph,
+            "zero-copy mapped load diverges from the generated graph"
+        );
+    }
 
     let mbps = |bytes: usize, ms: f64| bytes as f64 / 1e6 / (ms / 1e3);
     let mut ingest_rows = Vec::new();
@@ -757,13 +804,25 @@ fn main() {
             }
             best
         });
+        // The zero-copy arm: map + validate in place. Page faults during
+        // validation touch every page, so this is an honest end-to-end cost.
+        let binary_mmap_ms = if et_graph::buf::ZERO_COPY_TARGET {
+            Some(best_ms(reps, || {
+                graph_io::read_binary_with(&bin_path, Backend::Mapped).expect("mapped load")
+            }))
+        } else {
+            None
+        };
         println!(
-            "ingest rmat-s{ingest_scale} @{threads}t: text serial {:.0} MB/s vs parallel \
-             {:.0} MB/s ({:.2}x) | binary {:.0} MB/s",
+            "ingest {ingest_name} @{threads}t: text serial {:.0} MB/s vs parallel \
+             {:.0} MB/s ({:.2}x) | binary {:.0} MB/s | binary mmap {}",
             mbps(text_bytes.len(), serial_ms),
             mbps(text_bytes.len(), parallel_ms),
             serial_ms / parallel_ms,
             mbps(binary_bytes, binary_ms),
+            binary_mmap_ms
+                .map(|ms| format!("{:.0} MB/s", mbps(binary_bytes, ms)))
+                .unwrap_or_else(|| "n/a".to_string()),
         );
         ingest_rows.push(IngestThreadRow {
             threads,
@@ -771,6 +830,7 @@ fn main() {
             text_parallel_mbps: mbps(text_bytes.len(), parallel_ms),
             text_parallel_speedup: serial_ms / parallel_ms,
             binary_mbps: mbps(binary_bytes, binary_ms),
+            binary_mmap_mbps: binary_mmap_ms.map(|ms| mbps(binary_bytes, ms)),
         });
     }
     let doc = IngestReport {
@@ -778,7 +838,7 @@ fn main() {
         meta,
         quick,
         reps,
-        graph: format!("rmat-s{ingest_scale}"),
+        graph: ingest_name,
         vertices: ingest_graph.num_vertices(),
         edges: ingest_graph.num_edges(),
         text_bytes: text_bytes.len(),

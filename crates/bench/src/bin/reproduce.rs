@@ -10,6 +10,7 @@
 //!   --scale <f64>       dataset scale factor (default 1.0)
 //!   --threads <list>    comma-separated thread counts (default: 1,2,4,..,max)
 //!   --out <dir>         also write JSON reports into <dir>
+//!   --mmap              memory-map cached dataset binaries (zero-copy CSR)
 //! ```
 
 use et_bench::experiments::{self, Opts};
@@ -24,9 +25,11 @@ const ALL_EXPERIMENTS: [&str; 12] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] [--trace-out FILE] \
+        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] [--mmap] [--trace-out FILE] \
          <experiment>...\n\
          experiments: {} all\n\
+         --mmap            memory-map cached dataset binaries instead of decoding them\n\
+         \u{20}                  onto the heap (same as ET_MMAP=1)\n\
          --trace-out FILE  record spans + counters across all experiments and write\n\
          \u{20}                  chrome://tracing JSON to FILE (also enabled by ET_TRACE=1)\n\
          ET_MEM=1          attribute allocation deltas + peaks to pipeline phases",
@@ -68,6 +71,10 @@ fn main() -> ExitCode {
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
+            // Dataset loading resolves its backend from the environment
+            // (`Backend::from_env` inside `et_bench::datasets`), so the flag
+            // is just the CLI spelling of ET_MMAP=1.
+            "--mmap" => std::env::set_var("ET_MMAP", "1"),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             exp => wanted.push(exp.to_string()),

@@ -245,24 +245,49 @@ pub fn compare(
     report
 }
 
-/// Hard incompatibilities between two runs' `meta` stamps: diffing a
-/// 1-thread run against a 4-thread baseline (or `--quick` against full)
-/// compares apples to oranges, so the gate refuses unless overridden.
-pub fn check_meta(baseline: &Value, current: &Value) -> Vec<String> {
-    let mut errors = Vec::new();
-    for field in ["threads", "quick", "dataset_suite"] {
+/// Outcome of comparing two runs' `meta` stamps.
+///
+/// `fatal` mismatches make the diff meaningless metric-by-metric (a 1-thread
+/// run vs a 4-thread baseline, `--quick` vs full). `warnings` flag runs that
+/// are still diffable: a `dataset_suite` bump means the current run carries
+/// rows the baseline has never seen (they surface as "new metric" lines, not
+/// regressions), so the gate proceeds and only warns.
+#[derive(Clone, Debug, Default)]
+pub struct MetaCheck {
+    /// Mismatches the gate must refuse to diff across.
+    pub fatal: Vec<String>,
+    /// Mismatches reported but tolerated.
+    pub warnings: Vec<String>,
+}
+
+impl MetaCheck {
+    /// No mismatch of either severity.
+    pub fn is_clean(&self) -> bool {
+        self.fatal.is_empty() && self.warnings.is_empty()
+    }
+}
+
+/// Compares two runs' `meta` stamps: thread count and `--quick` mode must
+/// match exactly ([`MetaCheck::fatal`]); a dataset-suite difference is
+/// tolerated with a warning so baselines survive suite additions.
+pub fn check_meta(baseline: &Value, current: &Value) -> MetaCheck {
+    let mut check = MetaCheck::default();
+    for (field, fatal) in [("threads", true), ("quick", true), ("dataset_suite", false)] {
         let b = &baseline["meta"][field];
         let c = &current["meta"][field];
         if b.is_null() && c.is_null() {
             continue;
         }
         if b != c {
-            errors.push(format!(
-                "meta mismatch on `{field}`: baseline {b} vs current {c}"
-            ));
+            let message = format!("meta mismatch on `{field}`: baseline {b} vs current {c}");
+            if fatal {
+                check.fatal.push(message);
+            } else {
+                check.warnings.push(message);
+            }
         }
     }
-    errors
+    check
 }
 
 #[cfg(test)]
@@ -391,15 +416,29 @@ mod tests {
     fn meta_mismatch_is_detected() {
         let b = json!({"meta": {"threads": 4, "quick": true, "dataset_suite": "smoke-v1"}});
         let mut c = b.clone();
-        assert!(check_meta(&b, &c).is_empty());
+        assert!(check_meta(&b, &c).is_clean());
         c["meta"]["threads"] = json!(1);
         c["meta"]["quick"] = json!(false);
-        let errors = check_meta(&b, &c);
-        assert_eq!(errors.len(), 2);
-        assert!(errors[0].contains("threads"));
+        let check = check_meta(&b, &c);
+        assert_eq!(check.fatal.len(), 2);
+        assert!(check.warnings.is_empty());
+        assert!(check.fatal[0].contains("threads"));
         // git_rev may differ freely — it is not a compatibility field.
         c = b.clone();
         c["meta"]["git_rev"] = json!("deadbeef");
-        assert!(check_meta(&b, &c).is_empty());
+        assert!(check_meta(&b, &c).is_clean());
+    }
+
+    #[test]
+    fn dataset_suite_mismatch_only_warns() {
+        // A suite bump (new datasets in the current run) must not make old
+        // baselines undiffable — the new rows just have no counterpart yet.
+        let b = json!({"meta": {"threads": 4, "quick": true, "dataset_suite": "smoke-v1"}});
+        let mut c = b.clone();
+        c["meta"]["dataset_suite"] = json!("smoke-v2+large");
+        let check = check_meta(&b, &c);
+        assert!(check.fatal.is_empty());
+        assert_eq!(check.warnings.len(), 1);
+        assert!(check.warnings[0].contains("dataset_suite"));
     }
 }

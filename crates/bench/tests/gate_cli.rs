@@ -123,6 +123,37 @@ fn meta_mismatch_is_refused_unless_overridden() {
 }
 
 #[test]
+fn dataset_suite_bump_warns_but_still_diffs() {
+    let dir = scratch_dir("suite");
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 4));
+    let out = run(&dir, &["--write-baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    // Same run shape, but the dataset suite grew (e.g. a new large-graph
+    // row): the gate must warn and diff, not refuse — even under --strict,
+    // because no shared metric regressed.
+    let mut doc = support_doc(10.0, 4);
+    doc["meta"]["dataset_suite"] = json!("synthetic-smoke-v1+large-s20");
+    doc["results"]
+        .as_array_mut()
+        .unwrap()
+        .push(json!({"graph": "rmat-lj-s20", "support_oriented_ms": 900.0}));
+    write(&dir, "BENCH_support.json", &doc);
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json", "--strict"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning"), "{stdout}");
+    assert!(stdout.contains("dataset_suite"), "{stdout}");
+    assert!(stdout.contains("new metric (no baseline)"), "{stdout}");
+
+    // A thread-count mismatch stays fatal.
+    doc["meta"]["threads"] = json!(1);
+    write(&dir, "BENCH_support.json", &doc);
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+}
+
+#[test]
 fn missing_artifacts_are_a_usage_error() {
     let dir = scratch_dir("empty");
     let out = run(&dir, &["--baseline", "BASELINE_bench.json"]);

@@ -1,28 +1,35 @@
 //! `equitruss` — build, persist, inspect, and query EquiTruss indexes.
 
 use et_cli::{
-    cmd_build, cmd_generate, cmd_query, cmd_query_batch, cmd_stats, parse_engine,
+    cmd_build, cmd_generate, cmd_info, cmd_query, cmd_query_batch, cmd_stats, parse_engine,
     parse_support_kernel, parse_variant,
 };
+use et_graph::Backend;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         equitruss generate <profile> [--scale F] -o <graph.{{txt|bin}}>\n  \
+         equitruss generate <profile> [--scale F] -o <graph.{{txt|bin|binz}}>\n  \
          equitruss stats <graph>\n  \
+         equitruss info <file.{{bin|binz|etidx}}>\n  \
          equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
          \x20               [--support-kernel oriented|merge|cover-edge]\n  \
          equitruss query <graph> <index.etidx> -v <vertex> -k <level> [--engine hierarchy|bfs]\n  \
          equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n\n\
          options (any command):\n  \
+         --mmap                     memory-map .bin graphs and .etidx indexes (zero-copy)\n  \
+         ET_MMAP=1                  same as --mmap, via the environment\n  \
          --trace-out <trace.json>   record spans + counters, write chrome://tracing JSON\n  \
          ET_TRACE=1                 enable tracing without writing a file\n  \
          ET_MEM=1                   attribute allocation deltas + peaks to pipeline phases"
     );
     std::process::exit(2);
 }
+
+/// Flags that take no value (presence alone means \"on\").
+const BOOLEAN_FLAGS: &[&str] = &["mmap"];
 
 struct Args {
     positional: Vec<String>,
@@ -35,6 +42,10 @@ fn parse_args(raw: Vec<String>) -> Args {
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "1".to_string());
+                continue;
+            }
             let value = it.next().unwrap_or_else(|| usage());
             flags.insert(name.to_string(), value);
         } else if a == "-o" || a == "-v" || a == "-k" {
@@ -61,6 +72,12 @@ fn main() -> ExitCode {
     if trace_out.is_some() {
         et_obs::set_enabled(true);
     }
+    // --mmap wins; otherwise ET_MMAP=1 selects the mapped backend.
+    let backend = if args.flags.contains_key("mmap") {
+        Backend::Mapped
+    } else {
+        Backend::from_env()
+    };
 
     let result = match args.positional[0].as_str() {
         "generate" => {
@@ -72,7 +89,11 @@ fn main() -> ExitCode {
         }
         "stats" => {
             let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
-            cmd_stats(&PathBuf::from(graph))
+            cmd_stats(&PathBuf::from(graph), backend)
+        }
+        "info" => {
+            let file = args.positional.get(1).unwrap_or_else(|| usage()).clone();
+            cmd_info(&PathBuf::from(file))
         }
         "build" => {
             let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
@@ -101,6 +122,7 @@ fn main() -> ExitCode {
                 &PathBuf::from(require_flag("o")),
                 variant,
                 kernel,
+                backend,
             )
         }
         "query" => {
@@ -122,15 +144,34 @@ fn main() -> ExitCode {
                     &PathBuf::from(index),
                     &PathBuf::from(batch),
                     engine,
+                    backend,
                 )
             } else {
                 let v: u32 = require_flag("v").parse().unwrap_or_else(|_| usage());
                 let k: u32 = require_flag("k").parse().unwrap_or_else(|_| usage());
-                cmd_query(&PathBuf::from(graph), &PathBuf::from(index), v, k, engine)
+                cmd_query(
+                    &PathBuf::from(graph),
+                    &PathBuf::from(index),
+                    v,
+                    k,
+                    engine,
+                    backend,
+                )
             }
         }
         _ => usage(),
     };
+
+    // One greppable line per pipeline phase so CI can assert on phase
+    // memory (e.g. `phase-mem: Ingest ...` stays O(1) under --mmap).
+    if et_obs::mem_tracking_active() {
+        for p in et_obs::mem_phase_stats() {
+            eprintln!(
+                "phase-mem: {} alloc_bytes={} alloc_count={} peak_bytes={}",
+                p.name, p.alloc_bytes, p.alloc_count, p.peak_bytes
+            );
+        }
+    }
 
     match result {
         Ok(out) => {

@@ -15,22 +15,30 @@
 #![warn(missing_docs)]
 
 use et_core::{build_index, io as index_io, IndexStats, SupportKernel, Variant};
-use et_graph::{io as graph_io, EdgeIndexedGraph, GraphStats};
+use et_graph::{io as graph_io, Backend, EdgeIndexedGraph, GraphStats};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// CLI-level errors (message already user-formatted).
 pub type CliResult = Result<String, String>;
 
-/// Loads a graph from a text edge list (`.txt`) or binary (`.bin`) file.
+/// Loads a graph from a text edge list (`.txt`), binary (`.bin`), or
+/// compressed binary (`.binz`) file on the owned backend.
 ///
-/// Both paths go through `et_graph`'s parallel validated ingest pipeline:
+/// All paths go through `et_graph`'s parallel validated ingest pipeline:
 /// text files are chunk-parsed across the rayon pool (malformed lines keep
 /// exact line numbers), and binary headers are validated against the actual
 /// file size before anything is allocated.
 pub fn load_graph(path: &Path) -> Result<EdgeIndexedGraph, String> {
-    let g =
-        graph_io::read_graph(path).map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+    load_graph_with(path, Backend::Owned)
+}
+
+/// [`load_graph`] with an explicit storage backend. Under
+/// [`Backend::Mapped`], `.bin` CSR arrays become zero-copy views of the
+/// memory-mapped file; text and `.binz` inputs always decode to owned.
+pub fn load_graph_with(path: &Path, backend: Backend) -> Result<EdgeIndexedGraph, String> {
+    let g = graph_io::read_graph_with(path, backend)
+        .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
     EdgeIndexedGraph::try_new(g).map_err(|e| format!("cannot index graph: {e}"))
 }
 
@@ -72,6 +80,8 @@ pub fn cmd_generate(profile: &str, scale: f64, out: &Path) -> CliResult {
     let g = p.generate(scale);
     let result = if out.extension().is_some_and(|e| e == "bin") {
         graph_io::write_binary(&g, out)
+    } else if out.extension().is_some_and(|e| e == "binz") {
+        et_graph::varint::write_binary_compressed(&g, out)
     } else {
         graph_io::write_text_edge_list(&g, out)
     };
@@ -85,8 +95,8 @@ pub fn cmd_generate(profile: &str, scale: f64, out: &Path) -> CliResult {
 }
 
 /// `stats <graph>`: prints graph, trussness, and index statistics.
-pub fn cmd_stats(graph_path: &Path) -> CliResult {
-    let graph = load_graph(graph_path)?;
+pub fn cmd_stats(graph_path: &Path, backend: Backend) -> CliResult {
+    let graph = load_graph_with(graph_path, backend)?;
     let gs = GraphStats::compute(graph.graph());
     let decomposition = et_truss::decompose_parallel(&graph);
     let index = build_index(&graph, Variant::Afforest).index;
@@ -123,6 +133,97 @@ pub fn cmd_stats(graph_path: &Path) -> CliResult {
     Ok(out)
 }
 
+/// `info <file>`: prints header metadata and structural stats of a binary
+/// graph (`.bin`), compressed graph (`.binz`), or index (`.etidx`) file.
+///
+/// Only the header / length fields are read and validated — no array is
+/// ever loaded, so this is O(1) in the graph size (and safe to point at
+/// files too large to load).
+pub fn cmd_info(path: &Path) -> CliResult {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or_default();
+    let mut out = String::new();
+    match ext {
+        "bin" => {
+            let h = graph_io::read_binary_header(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let _ = writeln!(out, "file      : {} ({} bytes)", path.display(), h.file_len);
+            let _ = writeln!(out, "format    : ETCSRv01 binary CSR graph (mappable)");
+            let _ = writeln!(out, "vertices  : {}", h.num_vertices);
+            let _ = writeln!(out, "edges     : {} ({} arcs)", h.num_edges(), h.num_arcs);
+            let _ = writeln!(
+                out,
+                "avg degree: {:.2}",
+                h.num_arcs as f64 / (h.num_vertices.max(1)) as f64
+            );
+        }
+        "binz" => {
+            let h = et_graph::varint::read_compressed_header(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let fixed = 24 + (h.num_vertices + 1) * 8 + h.num_arcs * 4;
+            let _ = writeln!(out, "file      : {} ({} bytes)", path.display(), h.file_len);
+            let _ = writeln!(
+                out,
+                "format    : ETCSZv01 delta/varint-compressed CSR graph (decode-on-load)"
+            );
+            let _ = writeln!(out, "vertices  : {}", h.num_vertices);
+            let _ = writeln!(out, "edges     : {} ({} arcs)", h.num_edges(), h.num_arcs);
+            let _ = writeln!(
+                out,
+                "ratio     : {:.3} of the fixed-width .bin layout ({fixed} bytes)",
+                h.file_len as f64 / fixed as f64
+            );
+        }
+        "etidx" => {
+            let info = index_io::read_index_info(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let _ = writeln!(
+                out,
+                "file      : {} ({} bytes)",
+                path.display(),
+                info.file_len
+            );
+            let _ = writeln!(
+                out,
+                "format    : ETIDXv{:02} EquiTruss index{}",
+                info.version,
+                if info.version >= 3 {
+                    " (8-byte aligned, mappable)"
+                } else {
+                    " (legacy, loads owned under --mmap where misaligned)"
+                }
+            );
+            let _ = writeln!(
+                out,
+                "edges     : {} (indexed {})",
+                info.num_edges, info.num_members
+            );
+            let _ = writeln!(out, "supernodes: {}", info.num_supernodes);
+            let _ = writeln!(out, "superedges: {}", info.num_superedges);
+            let _ = writeln!(
+                out,
+                "hierarchy : {} nodes ({} merge events)",
+                info.num_hierarchy_nodes,
+                info.num_hierarchy_nodes - info.num_supernodes
+            );
+        }
+        other => {
+            return Err(format!(
+                "info expects a .bin, .binz, or .etidx file, got {:?} ({})",
+                path.display(),
+                if other.is_empty() {
+                    "no extension".to_string()
+                } else {
+                    format!("extension {other:?}")
+                }
+            ))
+        }
+    }
+    Ok(out)
+}
+
 /// `build <graph> -o <index> [--variant V] [--support-kernel K]`: constructs
 /// and persists.
 pub fn cmd_build(
@@ -130,8 +231,9 @@ pub fn cmd_build(
     out: &Path,
     variant: Variant,
     kernel: SupportKernel,
+    backend: Backend,
 ) -> CliResult {
-    let graph = load_graph(graph_path)?;
+    let graph = load_graph_with(graph_path, backend)?;
     let t0 = std::time::Instant::now();
     let support = {
         let _span = et_obs::span("Support");
@@ -152,7 +254,7 @@ pub fn cmd_build(
         .map_err(|e| format!("cannot write index: {e}"))?;
     Ok(format!(
         "built {} index in {:.2?} (SpNode {:.2?}, SpEdge {:.2?}, SmGraph {:.2?}, Hierarchy {:.2?})\n\
-         {} supernodes, {} superedges, {} hierarchy nodes -> {}",
+         {} supernodes, {} superedges, {} hierarchy nodes -> {} [graph storage: {}]",
         variant.name(),
         elapsed,
         timings.spnode,
@@ -162,7 +264,8 @@ pub fn cmd_build(
         index.num_supernodes(),
         index.num_superedges(),
         hierarchy.num_nodes(),
-        out.display()
+        out.display(),
+        graph.graph().storage_backend(),
     ))
 }
 
@@ -192,10 +295,15 @@ struct LoadedIndex {
     hierarchy: et_core::TrussHierarchy,
 }
 
-fn load_query_state(graph_path: &Path, index_path: &Path) -> Result<LoadedIndex, String> {
-    let graph = load_graph(graph_path)?;
-    let (index, trussness, hierarchy) = index_io::read_index_with_hierarchy(index_path)
-        .map_err(|e| format!("cannot load index: {e}"))?;
+fn load_query_state(
+    graph_path: &Path,
+    index_path: &Path,
+    backend: Backend,
+) -> Result<LoadedIndex, String> {
+    let graph = load_graph_with(graph_path, backend)?;
+    let (index, trussness, hierarchy) =
+        index_io::read_index_with_hierarchy_with(index_path, backend)
+            .map_err(|e| format!("cannot load index: {e}"))?;
     if trussness.len() != graph.num_edges() {
         return Err(format!(
             "index was built for a graph with {} edges, this graph has {}",
@@ -232,8 +340,9 @@ pub fn cmd_query(
     vertex: u32,
     k: u32,
     engine: QueryEngine,
+    backend: Backend,
 ) -> CliResult {
-    let s = load_query_state(graph_path, index_path)?;
+    let s = load_query_state(graph_path, index_path, backend)?;
     let t0 = std::time::Instant::now();
     let communities = run_query(&s, vertex, k, engine);
     let elapsed = t0.elapsed();
@@ -270,6 +379,7 @@ pub fn cmd_query_batch(
     index_path: &Path,
     batch_path: &Path,
     engine: QueryEngine,
+    backend: Backend,
 ) -> CliResult {
     let text = std::fs::read_to_string(batch_path)
         .map_err(|e| format!("cannot read {}: {e}", batch_path.display()))?;
@@ -296,7 +406,7 @@ pub fn cmd_query_batch(
         queries.push((v, k));
     }
 
-    let s = load_query_state(graph_path, index_path)?;
+    let s = load_query_state(graph_path, index_path, backend)?;
     let t0 = std::time::Instant::now();
     let mut out = String::new();
     match engine {
@@ -367,10 +477,17 @@ mod tests {
         let msg = cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
         assert!(msg.contains("vertices"));
 
-        let stats = cmd_stats(&graph).unwrap();
+        let stats = cmd_stats(&graph, Backend::Owned).unwrap();
         assert!(stats.contains("supernodes"));
 
-        let built = cmd_build(&graph, &index, Variant::Afforest, SupportKernel::default()).unwrap();
+        let built = cmd_build(
+            &graph,
+            &index,
+            Variant::Afforest,
+            SupportKernel::default(),
+            Backend::Owned,
+        )
+        .unwrap();
         assert!(built.contains("Afforest"));
 
         // Find a vertex with a community to query.
@@ -378,11 +495,11 @@ mod tests {
         let q = (0..g.num_vertices() as u32)
             .max_by_key(|&u| g.degree(u))
             .unwrap();
-        let out = cmd_query(&graph, &index, q, 3, QueryEngine::Hierarchy).unwrap();
+        let out = cmd_query(&graph, &index, q, 3, QueryEngine::Hierarchy, Backend::Owned).unwrap();
         assert!(out.contains("community"));
         // Both engines agree on the rendered communities (the header line
         // carries engine tag + wall time, so compare from line 2 on).
-        let bfs = cmd_query(&graph, &index, q, 3, QueryEngine::Bfs).unwrap();
+        let bfs = cmd_query(&graph, &index, q, 3, QueryEngine::Bfs, Backend::Owned).unwrap();
         let body = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
         assert_eq!(body(&out), body(&bfs));
         assert!(bfs.contains("1 community(ies)") == out.contains("1 community(ies)"));
@@ -395,7 +512,14 @@ mod tests {
         let index = dir.join("bq.etidx");
         let batch = dir.join("bq.queries");
         cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
-        cmd_build(&graph, &index, Variant::Afforest, SupportKernel::default()).unwrap();
+        cmd_build(
+            &graph,
+            &index,
+            Variant::Afforest,
+            SupportKernel::default(),
+            Backend::Owned,
+        )
+        .unwrap();
         let g = load_graph(&graph).unwrap();
         let q = (0..g.num_vertices() as u32)
             .max_by_key(|&u| g.degree(u))
@@ -405,12 +529,20 @@ mod tests {
             format!("# vertex k\n{q} 3\n{q} 4   # inline comment\n\n0 100\n"),
         )
         .unwrap();
-        let out = cmd_query_batch(&graph, &index, &batch, QueryEngine::Hierarchy).unwrap();
+        let out = cmd_query_batch(
+            &graph,
+            &index,
+            &batch,
+            QueryEngine::Hierarchy,
+            Backend::Owned,
+        )
+        .unwrap();
         assert!(out.contains("3 queries in"));
         assert!(out.contains(&format!("v={q} k=3:")));
         assert!(out.contains("v=0 k=100: 0 community(ies)"));
         // Community counts and size multisets agree across engines.
-        let bfs = cmd_query_batch(&graph, &index, &batch, QueryEngine::Bfs).unwrap();
+        let bfs =
+            cmd_query_batch(&graph, &index, &batch, QueryEngine::Bfs, Backend::Owned).unwrap();
         for (a, b) in out.lines().zip(bfs.lines()).take(3) {
             let sizes = |s: &str| {
                 let mut v: Vec<String> = s
@@ -428,7 +560,14 @@ mod tests {
         }
         // Malformed line is a user-facing error, not a panic.
         std::fs::write(&batch, "12\n").unwrap();
-        assert!(cmd_query_batch(&graph, &index, &batch, QueryEngine::Hierarchy).is_err());
+        assert!(cmd_query_batch(
+            &graph,
+            &index,
+            &batch,
+            QueryEngine::Hierarchy,
+            Backend::Owned
+        )
+        .is_err());
     }
 
     #[test]
@@ -454,8 +593,15 @@ mod tests {
         let idx = dir.join("g1.etidx");
         cmd_generate("dblp", 1.0 / 64.0, &g1).unwrap();
         cmd_generate("amazon", 1.0 / 64.0, &g2).unwrap();
-        cmd_build(&g1, &idx, Variant::COptimal, SupportKernel::default()).unwrap();
-        assert!(cmd_query(&g2, &idx, 0, 3, QueryEngine::Hierarchy).is_err());
+        cmd_build(
+            &g1,
+            &idx,
+            Variant::COptimal,
+            SupportKernel::default(),
+            Backend::Owned,
+        )
+        .unwrap();
+        assert!(cmd_query(&g2, &idx, 0, 3, QueryEngine::Hierarchy, Backend::Owned).is_err());
     }
 
     #[test]
@@ -487,7 +633,7 @@ mod tests {
             .iter()
             .map(|&k| {
                 let idx = dir.join(format!("sk-{}.etidx", k.name()));
-                cmd_build(&graph, &idx, Variant::Afforest, k).unwrap();
+                cmd_build(&graph, &idx, Variant::Afforest, k, Backend::Owned).unwrap();
                 std::fs::read(&idx).unwrap()
             })
             .collect();
@@ -508,5 +654,123 @@ mod tests {
         cmd_generate("amazon", 1.0 / 64.0, &bin).unwrap();
         let g = load_graph(&bin).unwrap();
         assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn compressed_graph_roundtrip_via_cli() {
+        // .binz decodes to the same graph the .bin path loads, on both
+        // backends (compressed inputs always decode owned).
+        let dir = tmp_dir();
+        let bin = dir.join("cz.bin");
+        let binz = dir.join("cz.binz");
+        cmd_generate("amazon", 1.0 / 64.0, &bin).unwrap();
+        cmd_generate("amazon", 1.0 / 64.0, &binz).unwrap();
+        let a = load_graph(&bin).unwrap();
+        let b = load_graph_with(&binz, Backend::Mapped).unwrap();
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(b.graph().storage_backend(), "owned");
+    }
+
+    #[test]
+    fn info_reports_headers_without_loading() {
+        let dir = tmp_dir();
+        let bin = dir.join("info.bin");
+        let binz = dir.join("info.binz");
+        let idx = dir.join("info.etidx");
+        cmd_generate("dblp", 1.0 / 64.0, &bin).unwrap();
+        cmd_generate("dblp", 1.0 / 64.0, &binz).unwrap();
+        cmd_build(
+            &bin,
+            &idx,
+            Variant::Afforest,
+            SupportKernel::default(),
+            Backend::Owned,
+        )
+        .unwrap();
+
+        let g = load_graph(&bin).unwrap();
+        let bin_info = cmd_info(&bin).unwrap();
+        assert!(bin_info.contains("ETCSRv01"));
+        assert!(bin_info.contains(&format!("vertices  : {}", g.num_vertices())));
+        assert!(bin_info.contains(&format!("edges     : {}", g.num_edges())));
+
+        let binz_info = cmd_info(&binz).unwrap();
+        assert!(binz_info.contains("ETCSZv01"));
+        assert!(binz_info.contains(&format!("edges     : {}", g.num_edges())));
+        assert!(binz_info.contains("ratio"));
+
+        let (index, _, hierarchy) = index_io::read_index_with_hierarchy(&idx)
+            .map_err(|e| e.to_string())
+            .unwrap();
+        let idx_info = cmd_info(&idx).unwrap();
+        assert!(idx_info.contains("ETIDXv03"));
+        assert!(idx_info.contains(&format!("supernodes: {}", index.num_supernodes())));
+        assert!(idx_info.contains(&format!("superedges: {}", index.num_superedges())));
+        assert!(idx_info.contains(&format!("hierarchy : {} nodes", hierarchy.num_nodes())));
+
+        assert!(cmd_info(&dir.join("info.txt")).is_err());
+        assert!(cmd_info(&dir.join("missing.bin")).is_err());
+    }
+
+    #[test]
+    fn mmap_build_is_bit_identical_to_owned() {
+        // The tentpole acceptance check at CLI level: building from a
+        // memory-mapped binary graph must produce the exact same .etidx
+        // bytes and the same query answers as building from owned storage.
+        let dir = tmp_dir();
+        let bin = dir.join("mm.bin");
+        let idx_owned = dir.join("mm-owned.etidx");
+        let idx_mapped = dir.join("mm-mapped.etidx");
+        cmd_generate("dblp", 1.0 / 64.0, &bin).unwrap();
+
+        cmd_build(
+            &bin,
+            &idx_owned,
+            Variant::Afforest,
+            SupportKernel::default(),
+            Backend::Owned,
+        )
+        .unwrap();
+        let built = cmd_build(
+            &bin,
+            &idx_mapped,
+            Variant::Afforest,
+            SupportKernel::default(),
+            Backend::Mapped,
+        )
+        .unwrap();
+        if et_graph::buf::ZERO_COPY_TARGET {
+            assert!(built.contains("[graph storage: mapped]"), "{built}");
+        }
+        assert_eq!(
+            std::fs::read(&idx_owned).unwrap(),
+            std::fs::read(&idx_mapped).unwrap()
+        );
+
+        // Queries through the mapped graph + mapped index agree with owned.
+        let g = load_graph(&bin).unwrap();
+        let q = (0..g.num_vertices() as u32)
+            .max_by_key(|&u| g.degree(u))
+            .unwrap();
+        let owned = cmd_query(
+            &bin,
+            &idx_owned,
+            q,
+            3,
+            QueryEngine::Hierarchy,
+            Backend::Owned,
+        )
+        .unwrap();
+        let mapped = cmd_query(
+            &bin,
+            &idx_mapped,
+            q,
+            3,
+            QueryEngine::Hierarchy,
+            Backend::Mapped,
+        )
+        .unwrap();
+        let body = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(body(&owned), body(&mapped));
     }
 }

@@ -1,0 +1,60 @@
+//! Zero-copy ingest memory assertion: loading a binary graph under
+//! `Backend::Mapped` must keep the `Ingest` phase's heap traffic a small
+//! constant, while the owned decode allocates O(arcs). This is the
+//! in-process twin of the CI step that greps `phase-mem: Ingest` from an
+//! `ET_MEM=1 equitruss build --mmap` run.
+//!
+//! Lives in its own integration binary: it flips the global allocation
+//! tracker on, and concurrent tests doing their own ingests would pollute
+//! the phase attribution.
+
+use et_cli::load_graph_with;
+use et_graph::Backend;
+
+#[test]
+fn mapped_ingest_heap_is_constant_not_linear() {
+    if !et_graph::buf::ZERO_COPY_TARGET {
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("et-mmap-mem-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = dir.join("g.bin");
+    // s14 R-MAT: ~64K+ arcs, so the owned CSR arrays alone are hundreds of
+    // kilobytes — far above the constant-overhead bound asserted below.
+    let g = et_gen::rmat_small(14, 8, 42);
+    et_graph::io::write_binary(&g, &bin).unwrap();
+    let array_bytes = (g.num_vertices() + 1) * 8 + 2 * g.num_edges() * 4;
+    assert!(array_bytes > 512 * 1024, "graph too small to discriminate");
+
+    let ingest_alloc = |backend: Backend| -> u64 {
+        et_obs::reset_mem_stats();
+        let loaded = load_graph_with(&bin, backend).unwrap();
+        assert_eq!(loaded.graph(), &g);
+        et_obs::mem_phase_stats()
+            .iter()
+            .find(|p| p.name == "Ingest")
+            .map(|p| p.alloc_bytes)
+            .unwrap_or(0)
+    };
+
+    et_obs::set_mem_enabled(true);
+    if !et_obs::mem_tracking_active() {
+        // alloc-track compiled out: nothing to measure.
+        et_obs::set_mem_enabled(false);
+        return;
+    }
+    let owned = ingest_alloc(Backend::Owned);
+    let mapped = ingest_alloc(Backend::Mapped);
+    et_obs::set_mem_enabled(false);
+
+    assert!(
+        owned as usize >= array_bytes,
+        "owned ingest allocated {owned} bytes, expected at least the {array_bytes}-byte arrays"
+    );
+    // The mapped path may only allocate bookkeeping (header buffer, file
+    // handles, the Arc) — a small constant, never the arrays.
+    assert!(
+        mapped < 64 * 1024,
+        "mapped ingest allocated {mapped} bytes — zero-copy regressed to O(arcs)"
+    );
+}

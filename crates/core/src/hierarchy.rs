@@ -35,6 +35,7 @@
 
 use crate::index::SuperGraph;
 use et_cc::DisjointSet;
+use et_graph::Buf;
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -52,10 +53,11 @@ pub struct TrussHierarchy {
     /// Number of leaves (= supernodes of the index it was built from).
     pub num_leaves: u32,
     /// Level of each node: trussness for leaves, merge level for internal
-    /// nodes.
-    pub node_level: Vec<u32>,
-    /// Parent node id, [`NO_NODE`] for roots.
-    pub node_parent: Vec<u32>,
+    /// nodes. Persisted — may be a zero-copy view of a mapped `.etidx`.
+    pub node_level: Buf<u32>,
+    /// Parent node id, [`NO_NODE`] for roots. Persisted — may be a
+    /// zero-copy view of a mapped `.etidx`.
+    pub node_parent: Buf<u32>,
     /// Supernodes under each node.
     pub node_sn_count: Vec<u32>,
     /// Member edges (of the original graph) under each node.
@@ -151,7 +153,7 @@ impl TrussHierarchy {
         edges.par_sort_unstable();
 
         let mut dsu = DisjointSet::new(num_leaves as usize);
-        let mut node_level: Vec<u32> = index.sn_trussness.clone();
+        let mut node_level: Vec<u32> = index.sn_trussness.to_vec();
         let mut node_parent: Vec<u32> = vec![NO_NODE; num_leaves as usize];
         // Current top hierarchy node of each component, addressed through the
         // component's union-find root.
@@ -209,9 +211,11 @@ impl TrussHierarchy {
     /// disk reproduces the built hierarchy bit for bit.
     pub fn from_forest(
         index: &SuperGraph,
-        node_level: Vec<u32>,
-        node_parent: Vec<u32>,
+        node_level: impl Into<Buf<u32>>,
+        node_parent: impl Into<Buf<u32>>,
     ) -> Result<TrussHierarchy, String> {
+        let node_level: Buf<u32> = node_level.into();
+        let node_parent: Buf<u32> = node_parent.into();
         let num_leaves = index.num_supernodes() as u32;
         let n = node_level.len();
         if node_parent.len() != n {
@@ -258,9 +262,11 @@ impl TrussHierarchy {
     fn finish(
         index: &SuperGraph,
         num_leaves: u32,
-        node_level: Vec<u32>,
-        node_parent: Vec<u32>,
+        node_level: impl Into<Buf<u32>>,
+        node_parent: impl Into<Buf<u32>>,
     ) -> TrussHierarchy {
+        let node_level: Buf<u32> = node_level.into();
+        let node_parent: Buf<u32> = node_parent.into();
         let n = node_level.len();
 
         // Children CSR from parent pointers, child ids ascending per node.
@@ -463,12 +469,12 @@ mod tests {
         assert_eq!(h, rebuilt);
 
         // Tampered parents are rejected.
-        let mut bad_parent = h.node_parent.clone();
+        let mut bad_parent = h.node_parent.to_vec();
         if let Some(slot) = bad_parent.iter_mut().find(|p| **p != NO_NODE) {
             *slot = 0; // parent pointing at a leaf / below the child
             assert!(TrussHierarchy::from_forest(&idx, h.node_level.clone(), bad_parent).is_err());
         }
-        let mut bad_level = h.node_level.clone();
+        let mut bad_level = h.node_level.to_vec();
         if !bad_level.is_empty() {
             bad_level[0] += 1;
             assert!(TrussHierarchy::from_forest(&idx, bad_level, h.node_parent.clone()).is_err());

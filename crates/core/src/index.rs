@@ -1,6 +1,6 @@
 //! The EquiTruss summary graph (index) data structure.
 
-use et_graph::{EdgeId, EdgeIndexedGraph};
+use et_graph::{Buf, EdgeId, EdgeIndexedGraph};
 
 /// Sentinel supernode id for edges outside the index (trussness < 3).
 pub const NO_SUPERNODE: u32 = u32::MAX;
@@ -12,23 +12,28 @@ pub const NO_SUPERNODE: u32 = u32::MAX;
 /// Supernode members are stored in CSR form; the superedge adjacency is a
 /// symmetric CSR over supernode ids so community-search queries can traverse
 /// the supergraph directly.
+///
+/// The flat arrays are [`Buf`]s: built in memory they are owned, loaded
+/// from an `.etidx` file under the mapped backend they are zero-copy views
+/// of the file. `superedges` stays an owned `Vec` — tuple layout is not
+/// guaranteed, so the pair list is always decoded, never reinterpreted.
 #[derive(Clone, Debug)]
 pub struct SuperGraph {
     /// Trussness k of each supernode.
-    pub sn_trussness: Vec<u32>,
+    pub sn_trussness: Buf<u32>,
     /// CSR offsets into [`SuperGraph::sn_members`] (length = #supernodes + 1).
-    pub sn_offsets: Vec<usize>,
+    pub sn_offsets: Buf<usize>,
     /// Member edge ids, grouped by supernode, sorted within each group.
-    pub sn_members: Vec<EdgeId>,
+    pub sn_members: Buf<EdgeId>,
     /// Supernode of every edge (`NO_SUPERNODE` for trussness < 3 edges).
-    pub edge_supernode: Vec<u32>,
+    pub edge_supernode: Buf<u32>,
     /// Deduplicated superedges as `(a, b)` supernode pairs with `a < b`,
     /// sorted lexicographically.
     pub superedges: Vec<(u32, u32)>,
     /// CSR offsets of the symmetric superedge adjacency.
-    pub adj_offsets: Vec<usize>,
+    pub adj_offsets: Buf<usize>,
     /// Neighbor supernodes, sorted within each row.
-    pub adj_targets: Vec<u32>,
+    pub adj_targets: Buf<u32>,
 }
 
 impl SuperGraph {
@@ -134,13 +139,28 @@ impl SuperGraph {
         }
 
         SuperGraph {
-            sn_trussness,
-            sn_offsets,
-            sn_members,
-            edge_supernode,
+            sn_trussness: sn_trussness.into(),
+            sn_offsets: sn_offsets.into(),
+            sn_members: sn_members.into(),
+            edge_supernode: edge_supernode.into(),
             superedges,
-            adj_offsets,
-            adj_targets,
+            adj_offsets: adj_offsets.into(),
+            adj_targets: adj_targets.into(),
+        }
+    }
+
+    /// The storage backend of the index arrays ("owned" / "mapped").
+    pub fn storage_backend(&self) -> &'static str {
+        if self.sn_trussness.is_mapped()
+            || self.sn_offsets.is_mapped()
+            || self.sn_members.is_mapped()
+            || self.edge_supernode.is_mapped()
+            || self.adj_offsets.is_mapped()
+            || self.adj_targets.is_mapped()
+        {
+            "mapped"
+        } else {
+            "owned"
         }
     }
 

@@ -13,17 +13,29 @@
 //! *before* any allocation, so corrupt or truncated files produce a
 //! [`IndexIoError::Corrupt`] — never an allocation sized by untrusted data.
 //!
-//! Version 2 appends the truss hierarchy's forest arrays (node levels +
+//! Version 2 appended the truss hierarchy's forest arrays (node levels +
 //! parent pointers); the derived arrays (DFS leaf order, aggregates) are
 //! recomputed deterministically on load, so the file stays compact and a
 //! loaded hierarchy is bit-identical to the built one.
+//!
+//! Version 3 pads every array payload to an 8-byte boundary so that each
+//! payload sits at a naturally aligned file offset. Under
+//! [`Backend::Mapped`] the loader memory-maps the file and hands out
+//! zero-copy [`Buf`] views of the persisted arrays instead of decoding them
+//! into fresh heap allocations; any array whose offset is misaligned for
+//! its element type (possible in legacy v2 files) silently falls back to an
+//! owned decode of just that array. The superedge pair list is always
+//! decoded — Rust does not guarantee the memory layout of `(u32, u32)`.
+//! Both versions are accepted on read; writes always produce version 3.
 
 use crate::hierarchy::TrussHierarchy;
 use crate::index::SuperGraph;
+use et_graph::{Backend, Buf};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"ETIDXv02";
+const MAGIC_V2: &[u8; 8] = b"ETIDXv02";
+const MAGIC_V3: &[u8; 8] = b"ETIDXv03";
 
 /// Errors from index (de)serialization.
 #[derive(Debug)]
@@ -54,6 +66,13 @@ impl From<std::io::Error> for IndexIoError {
 /// Elements encoded per bulk `write_all` by the writers.
 const ENCODE_CHUNK: usize = 1 << 16;
 
+/// Zero bytes needed after a `payload`-byte array to reach the next 8-byte
+/// boundary (v3 layout).
+#[inline]
+fn pad_for(payload: usize) -> usize {
+    (8 - payload % 8) % 8
+}
+
 fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), IndexIoError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
@@ -70,6 +89,7 @@ fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> Result<(), IndexIoError> {
         }
         w.write_all(&buf)?;
     }
+    w.write_all(&[0u8; 7][..pad_for(s.len() * 4)])?;
     Ok(())
 }
 
@@ -93,6 +113,8 @@ fn write_usize_slice<W: Write>(w: &mut W, s: &[usize]) -> Result<(), IndexIoErro
 /// trigger an allocation larger than the file itself.
 struct SliceReader<'a> {
     buf: &'a [u8],
+    /// Whether array payloads are padded to 8-byte boundaries (v3).
+    padded: bool,
 }
 
 impl<'a> SliceReader<'a> {
@@ -114,11 +136,20 @@ impl<'a> SliceReader<'a> {
         ))
     }
 
+    /// Consumes the post-payload alignment padding (v3 files only).
+    fn skip_pad(&mut self, payload: usize) -> Result<(), IndexIoError> {
+        if self.padded {
+            self.take(pad_for(payload))?;
+        }
+        Ok(())
+    }
+
     /// Reads a length, validates it against the sanity cap and the
     /// remaining bytes (4 per element), then bulk-decodes.
     fn read_u32_vec(&mut self, cap: u64) -> Result<Vec<u32>, IndexIoError> {
         let len = self.checked_len(cap, 4)?;
         let raw = self.take(len * 4)?;
+        self.skip_pad(len * 4)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
@@ -171,7 +202,8 @@ pub fn write_index<P: AsRef<Path>>(
     write_index_with_hierarchy(index, trussness, &TrussHierarchy::build(index), path)
 }
 
-/// Writes the index, trussness dictionary, and a prebuilt truss hierarchy.
+/// Writes the index, trussness dictionary, and a prebuilt truss hierarchy
+/// in the v3 (8-byte aligned) layout.
 pub fn write_index_with_hierarchy<P: AsRef<Path>>(
     index: &SuperGraph,
     trussness: &[u32],
@@ -180,7 +212,7 @@ pub fn write_index_with_hierarchy<P: AsRef<Path>>(
 ) -> Result<(), IndexIoError> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    w.write_all(MAGIC)?;
+    w.write_all(MAGIC_V3)?;
     write_u32_slice(&mut w, trussness)?;
     write_u32_slice(&mut w, &index.sn_trussness)?;
     write_usize_slice(&mut w, &index.sn_offsets)?;
@@ -202,31 +234,100 @@ pub fn write_index_with_hierarchy<P: AsRef<Path>>(
 /// Loads an index written by [`write_index`]; returns `(index, trussness)`,
 /// discarding the hierarchy section. Query-serving callers should prefer
 /// [`read_index_with_hierarchy`].
-pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Vec<u32>), IndexIoError> {
+pub fn read_index<P: AsRef<Path>>(path: P) -> Result<(SuperGraph, Buf<u32>), IndexIoError> {
     let (index, trussness, _) = read_index_with_hierarchy(path)?;
     Ok((index, trussness))
 }
 
-/// Loads an index plus its truss hierarchy; returns
+/// Loads an index plus its truss hierarchy on the owned backend; returns
 /// `(index, trussness, hierarchy)`.
 pub fn read_index_with_hierarchy<P: AsRef<Path>>(
     path: P,
-) -> Result<(SuperGraph, Vec<u32>, TrussHierarchy), IndexIoError> {
+) -> Result<(SuperGraph, Buf<u32>, TrussHierarchy), IndexIoError> {
+    read_index_with_hierarchy_with(path, Backend::Owned)
+}
+
+/// Loads an index plus its truss hierarchy with an explicit storage
+/// backend. Under [`Backend::Mapped`] the persisted arrays are zero-copy
+/// views of the memory-mapped file (on supported targets; elsewhere, or for
+/// misaligned legacy-v2 arrays, the loader decodes owned copies). The
+/// loaded structures are bit-identical across backends.
+pub fn read_index_with_hierarchy_with<P: AsRef<Path>>(
+    path: P,
+    backend: Backend,
+) -> Result<(SuperGraph, Buf<u32>, TrussHierarchy), IndexIoError> {
+    match backend {
+        Backend::Owned => read_index_owned(path.as_ref()),
+        Backend::Mapped => {
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            {
+                read_index_mapped(path.as_ref())
+            }
+            #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+            {
+                read_index_owned(path.as_ref())
+            }
+        }
+    }
+}
+
+/// Parses the magic, returning whether payloads are 8-byte padded (v3).
+fn parse_magic(magic: &[u8]) -> Result<bool, IndexIoError> {
+    match magic {
+        m if m == MAGIC_V3 => Ok(true),
+        m if m == MAGIC_V2 => Ok(false),
+        _ => Err(IndexIoError::Corrupt("bad magic".into())),
+    }
+}
+
+fn read_index_owned(path: &Path) -> Result<(SuperGraph, Buf<u32>, TrussHierarchy), IndexIoError> {
     // One bulk read of the whole file — the slab size is the real file
     // size, never a value claimed by the (untrusted) content.
     let bytes = std::fs::read(path)?;
-    let mut r = SliceReader { buf: &bytes };
-    if r.take(8)? != MAGIC {
-        return Err(IndexIoError::Corrupt("bad magic".into()));
-    }
+    let mut r = SliceReader {
+        buf: &bytes,
+        padded: false,
+    };
+    r.padded = parse_magic(r.take(8)?)?;
     let trussness = r.read_u32_vec(LEN_CAP)?;
     let sn_trussness = r.read_u32_vec(LEN_CAP)?;
     let sn_offsets = r.read_usize_vec(LEN_CAP)?;
     let sn_members = r.read_u32_vec(LEN_CAP)?;
     let edge_supernode = r.read_u32_vec(LEN_CAP)?;
+    let superedges = read_superedges(&mut r)?;
+    let adj_offsets = r.read_usize_vec(LEN_CAP)?;
+    let adj_targets = r.read_u32_vec(LEN_CAP)?;
+    let node_level = r.read_u32_vec(LEN_CAP)?;
+    let node_parent = r.read_u32_vec(LEN_CAP)?;
+    if !r.buf.is_empty() {
+        return Err(IndexIoError::Corrupt(format!(
+            "{} trailing bytes after the hierarchy section",
+            r.buf.len()
+        )));
+    }
+
+    let index = SuperGraph {
+        sn_trussness: sn_trussness.into(),
+        sn_offsets: sn_offsets.into(),
+        sn_members: sn_members.into(),
+        edge_supernode: edge_supernode.into(),
+        superedges,
+        adj_offsets: adj_offsets.into(),
+        adj_targets: adj_targets.into(),
+    };
+    let trussness: Buf<u32> = trussness.into();
+    validate_loaded(&index, &trussness)?;
+    let hierarchy = TrussHierarchy::from_forest(&index, node_level, node_parent)
+        .map_err(IndexIoError::Corrupt)?;
+    Ok((index, trussness, hierarchy))
+}
+
+/// Decodes the superedge pair list (always owned — tuple layout is not
+/// guaranteed, so pairs are never reinterpreted from disk).
+fn read_superedges(r: &mut SliceReader<'_>) -> Result<Vec<(u32, u32)>, IndexIoError> {
     let n_se = r.checked_len(LEN_CAP, 8)?;
     let raw_se = r.take(n_se * 8)?;
-    let superedges: Vec<(u32, u32)> = raw_se
+    Ok(raw_se
         .chunks_exact(8)
         .map(|c| {
             (
@@ -234,11 +335,67 @@ pub fn read_index_with_hierarchy<P: AsRef<Path>>(
                 u32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
             )
         })
-        .collect();
-    let adj_offsets = r.read_usize_vec(LEN_CAP)?;
-    let adj_targets = r.read_u32_vec(LEN_CAP)?;
-    let node_level = r.read_u32_vec(LEN_CAP)?;
-    let node_parent = r.read_u32_vec(LEN_CAP)?;
+        .collect())
+}
+
+/// Mapped-backend loader: every persisted array whose file offset is
+/// naturally aligned for its element type becomes a zero-copy view of the
+/// mapping; misaligned arrays (legacy v2 layout) decode owned. Bounds are
+/// validated through the same cursor as the owned path, and the mapping
+/// length is the file's real length, so views can never extend past EOF.
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+fn read_index_mapped(path: &Path) -> Result<(SuperGraph, Buf<u32>, TrussHierarchy), IndexIoError> {
+    use et_graph::buf::Pod;
+    use et_graph::{MappedSlice, Mmap};
+
+    let map = Mmap::map_path(path).map_err(IndexIoError::Io)?;
+    let bytes: &[u8] = map.bytes();
+    let mut r = SliceReader {
+        buf: bytes,
+        padded: false,
+    };
+    r.padded = parse_magic(r.take(8)?)?;
+
+    // Builds a typed view at the cursor's current offset, or decodes an
+    // owned copy when the offset is misaligned for `T`.
+    fn view<T: Pod>(
+        map: &std::sync::Arc<Mmap>,
+        whole: &[u8],
+        r: &mut SliceReader<'_>,
+        decode: impl Fn(&[u8]) -> Vec<T>,
+    ) -> Result<Buf<T>, IndexIoError> {
+        let elem = std::mem::size_of::<T>();
+        let len = r.checked_len(LEN_CAP, elem as u64)?;
+        let offset = whole.len() - r.buf.len();
+        let raw = r.take(len * elem)?;
+        r.skip_pad(len * elem)?;
+        match MappedSlice::<T>::new(std::sync::Arc::clone(map), offset, len) {
+            Ok(view) => Ok(view.into()),
+            Err(_) => Ok(decode(raw).into()), // misaligned (v2): copy out
+        }
+    }
+
+    let decode_u32 = |raw: &[u8]| -> Vec<u32> {
+        raw.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
+    };
+    let decode_usize = |raw: &[u8]| -> Vec<usize> {
+        raw.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+            .collect()
+    };
+
+    let trussness = view::<u32>(&map, bytes, &mut r, decode_u32)?;
+    let sn_trussness = view::<u32>(&map, bytes, &mut r, decode_u32)?;
+    let sn_offsets = view::<usize>(&map, bytes, &mut r, decode_usize)?;
+    let sn_members = view::<u32>(&map, bytes, &mut r, decode_u32)?;
+    let edge_supernode = view::<u32>(&map, bytes, &mut r, decode_u32)?;
+    let superedges = read_superedges(&mut r)?;
+    let adj_offsets = view::<usize>(&map, bytes, &mut r, decode_usize)?;
+    let adj_targets = view::<u32>(&map, bytes, &mut r, decode_u32)?;
+    let node_level = view::<u32>(&map, bytes, &mut r, decode_u32)?;
+    let node_parent = view::<u32>(&map, bytes, &mut r, decode_u32)?;
     if !r.buf.is_empty() {
         return Err(IndexIoError::Corrupt(format!(
             "{} trailing bytes after the hierarchy section",
@@ -258,7 +415,120 @@ pub fn read_index_with_hierarchy<P: AsRef<Path>>(
     validate_loaded(&index, &trussness)?;
     let hierarchy = TrussHierarchy::from_forest(&index, node_level, node_parent)
         .map_err(IndexIoError::Corrupt)?;
+    et_obs::counter_add("index.load.mapped", 1);
     Ok((index, trussness, hierarchy))
+}
+
+/// Per-file metadata decoded from an `.etidx` header walk: the array length
+/// fields are read and cross-checked, the payloads are *seeked over*, so
+/// the cost is O(sections), not O(file).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexFileInfo {
+    /// Format version (2 or 3).
+    pub version: u32,
+    /// Edges of the underlying graph (trussness dictionary length).
+    pub num_edges: u64,
+    /// Supernodes |V| of the supergraph.
+    pub num_supernodes: u64,
+    /// Total member edge ids across all supernodes.
+    pub num_members: u64,
+    /// Superedges |E| of the supergraph.
+    pub num_superedges: u64,
+    /// Nodes of the truss hierarchy forest (leaves + merge events).
+    pub num_hierarchy_nodes: u64,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+/// Reads and validates an `.etidx` file's structure from its length fields
+/// alone — no array is ever loaded. Used by `equitruss info`.
+pub fn read_index_info<P: AsRef<Path>>(path: P) -> Result<IndexFileInfo, IndexIoError> {
+    use std::io::{Read, Seek, SeekFrom};
+
+    fn skip_array(
+        f: &mut std::fs::File,
+        pos: &mut u64,
+        file_len: u64,
+        elem: u64,
+        padded: bool,
+    ) -> Result<u64, IndexIoError> {
+        let mut lenb = [0u8; 8];
+        f.read_exact(&mut lenb)?;
+        let len = u64::from_le_bytes(lenb);
+        if len > LEN_CAP {
+            return Err(IndexIoError::Corrupt(format!(
+                "array length {len} exceeds sanity cap {LEN_CAP}"
+            )));
+        }
+        let payload = len * elem; // no overflow: len <= 2^30
+        let pad = if padded { (8 - payload % 8) % 8 } else { 0 };
+        let end = pos
+            .checked_add(8 + payload + pad)
+            .filter(|&e| e <= file_len)
+            .ok_or_else(|| {
+                IndexIoError::Corrupt(format!(
+                    "array of {len} elements overruns the {file_len}-byte file"
+                ))
+            })?;
+        f.seek(SeekFrom::Start(end))?;
+        *pos = end;
+        Ok(len)
+    }
+
+    let mut f = std::fs::File::open(path)?;
+    let file_len = f.metadata()?.len();
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).map_err(|_| {
+        IndexIoError::Corrupt(format!(
+            "file of {file_len} bytes is too short for a header"
+        ))
+    })?;
+    let padded = parse_magic(&magic)?;
+    let mut pos = 8u64;
+
+    let num_edges = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+    let num_supernodes = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+    let sn_offsets_len = skip_array(&mut f, &mut pos, file_len, 8, padded)?;
+    let num_members = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+    let edge_supernode_len = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+    let num_superedges = skip_array(&mut f, &mut pos, file_len, 8, false)?;
+    let adj_offsets_len = skip_array(&mut f, &mut pos, file_len, 8, padded)?;
+    let adj_targets_len = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+    let num_hierarchy_nodes = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+    let node_parent_len = skip_array(&mut f, &mut pos, file_len, 4, padded)?;
+
+    if pos != file_len {
+        return Err(IndexIoError::Corrupt(format!(
+            "{} trailing bytes after the hierarchy section",
+            file_len - pos
+        )));
+    }
+    if sn_offsets_len != num_supernodes + 1 || adj_offsets_len != num_supernodes + 1 {
+        return Err(IndexIoError::Corrupt("offset array length".into()));
+    }
+    if edge_supernode_len != num_edges {
+        return Err(IndexIoError::Corrupt(
+            "edge_supernode / trussness length mismatch".into(),
+        ));
+    }
+    if node_parent_len != num_hierarchy_nodes || num_hierarchy_nodes < num_supernodes {
+        return Err(IndexIoError::Corrupt("hierarchy section length".into()));
+    }
+    if adj_targets_len != num_superedges * 2 {
+        return Err(IndexIoError::Corrupt(
+            "adjacency targets do not match the superedge count".into(),
+        ));
+    }
+
+    Ok(IndexFileInfo {
+        version: if padded { 3 } else { 2 },
+        num_edges,
+        num_supernodes,
+        num_members,
+        num_superedges,
+        num_hierarchy_nodes,
+        file_len,
+    })
 }
 
 /// Structural sanity after a load — rejects truncated or tampered files.
@@ -306,6 +576,39 @@ mod tests {
         dir.join(name)
     }
 
+    /// Serializes in the legacy v2 (unpadded) layout, for compat tests.
+    fn write_v02(index: &SuperGraph, trussness: &[u32], hierarchy: &TrussHierarchy) -> Vec<u8> {
+        fn put_u32s(out: &mut Vec<u8>, s: &[u32]) {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            for &x in s {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        fn put_usizes(out: &mut Vec<u8>, s: &[usize]) {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            for &x in s {
+                out.extend_from_slice(&(x as u64).to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V2);
+        put_u32s(&mut out, trussness);
+        put_u32s(&mut out, &index.sn_trussness);
+        put_usizes(&mut out, &index.sn_offsets);
+        put_u32s(&mut out, &index.sn_members);
+        put_u32s(&mut out, &index.edge_supernode);
+        out.extend_from_slice(&(index.superedges.len() as u64).to_le_bytes());
+        for &(a, b) in &index.superedges {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        put_usizes(&mut out, &index.adj_offsets);
+        put_u32s(&mut out, &index.adj_targets);
+        put_u32s(&mut out, &hierarchy.node_level);
+        put_u32s(&mut out, &hierarchy.node_parent);
+        out
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(120, 25, (3, 6), 40, 2));
@@ -318,7 +621,7 @@ mod tests {
         let (loaded, tau2, h2) = read_index_with_hierarchy(&path).unwrap();
         assert_eq!(build.hierarchy, h2);
         h2.check(&loaded).unwrap();
-        assert_eq!(tau, tau2);
+        assert_eq!(tau2, tau);
         assert_eq!(built.sn_trussness, loaded.sn_trussness);
         assert_eq!(built.sn_offsets, loaded.sn_offsets);
         assert_eq!(built.sn_members, loaded.sn_members);
@@ -330,6 +633,76 @@ mod tests {
     }
 
     #[test]
+    fn mapped_load_is_bit_identical_to_owned() {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(100, 20, (3, 6), 30, 7));
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let build = build_index(&g, Variant::COptimal);
+        let path = tmp("mapped.etidx");
+        write_index_with_hierarchy(&build.index, &tau, &build.hierarchy, &path).unwrap();
+
+        let (owned, tau_o, h_o) = read_index_with_hierarchy_with(&path, Backend::Owned).unwrap();
+        let (mapped, tau_m, h_m) = read_index_with_hierarchy_with(&path, Backend::Mapped).unwrap();
+        assert_eq!(tau_o, tau_m);
+        assert_eq!(h_o, h_m);
+        assert_eq!(owned.sn_trussness, mapped.sn_trussness);
+        assert_eq!(owned.sn_offsets, mapped.sn_offsets);
+        assert_eq!(owned.sn_members, mapped.sn_members);
+        assert_eq!(owned.edge_supernode, mapped.edge_supernode);
+        assert_eq!(owned.superedges, mapped.superedges);
+        assert_eq!(owned.adj_offsets, mapped.adj_offsets);
+        assert_eq!(owned.adj_targets, mapped.adj_targets);
+        assert_eq!(mapped.canonical(), build.index.canonical());
+        if et_graph::buf::ZERO_COPY_TARGET {
+            assert_eq!(mapped.storage_backend(), "mapped");
+            assert_eq!(owned.storage_backend(), "owned");
+        }
+        h_m.check(&mapped).unwrap();
+    }
+
+    #[test]
+    fn legacy_v02_files_load_on_both_backends() {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(90, 18, (3, 5), 25, 3));
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let build = build_index(&g, Variant::Baseline);
+        let bytes = write_v02(&build.index, &tau, &build.hierarchy);
+        let path = tmp("legacy.etidx");
+        std::fs::write(&path, &bytes).unwrap();
+
+        for backend in [Backend::Owned, Backend::Mapped] {
+            let (loaded, tau2, h2) = read_index_with_hierarchy_with(&path, backend).unwrap();
+            assert_eq!(tau2, tau, "backend {backend}");
+            assert_eq!(h2, build.hierarchy, "backend {backend}");
+            assert_eq!(loaded.canonical(), build.index.canonical());
+        }
+        let info = read_index_info(&path).unwrap();
+        assert_eq!(info.version, 2);
+    }
+
+    #[test]
+    fn info_walks_header_without_loading_arrays() {
+        let g = EdgeIndexedGraph::new(et_gen::overlapping_cliques(120, 25, (3, 6), 40, 2));
+        let tau = et_truss::decompose_parallel(&g).trussness;
+        let build = build_index(&g, Variant::Afforest);
+        let path = tmp("info.etidx");
+        write_index_with_hierarchy(&build.index, &tau, &build.hierarchy, &path).unwrap();
+
+        let info = read_index_info(&path).unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.num_edges, tau.len() as u64);
+        assert_eq!(info.num_supernodes, build.index.num_supernodes() as u64);
+        assert_eq!(info.num_members, build.index.sn_members.len() as u64);
+        assert_eq!(info.num_superedges, build.index.num_superedges() as u64);
+        assert_eq!(info.num_hierarchy_nodes, build.hierarchy.num_nodes() as u64);
+        assert_eq!(info.file_len, std::fs::metadata(&path).unwrap().len());
+
+        // Truncation behind a valid header is caught by the bounds walk.
+        let bytes = std::fs::read(&path).unwrap();
+        let path2 = tmp("info-trunc.etidx");
+        std::fs::write(&path2, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(read_index_info(&path2).is_err());
+    }
+
+    #[test]
     fn rejects_wrong_magic() {
         let path = tmp("garbage.etidx");
         std::fs::write(&path, b"definitely not an index").unwrap();
@@ -337,6 +710,7 @@ mod tests {
             read_index(&path),
             Err(IndexIoError::Corrupt(_)) | Err(IndexIoError::Io(_))
         ));
+        assert!(read_index_info(&path).is_err());
     }
 
     #[test]
@@ -347,11 +721,16 @@ mod tests {
         let path = tmp("trunc.etidx");
         write_index(&built, &tau, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        // Chop the file at several points; every prefix must be rejected.
+        // Chop the file at several points; every prefix must be rejected on
+        // both backends (truncated-behind-valid-header for the mapped path).
         for cut in [9, bytes.len() / 2, bytes.len() - 3] {
             let path2 = tmp("trunc2.etidx");
             std::fs::write(&path2, &bytes[..cut]).unwrap();
             assert!(read_index(&path2).is_err(), "cut at {cut} accepted");
+            assert!(
+                read_index_with_hierarchy_with(&path2, Backend::Mapped).is_err(),
+                "mapped cut at {cut} accepted"
+            );
         }
     }
 
@@ -361,7 +740,7 @@ mod tests {
         // 20-byte file: must be rejected by the remaining-bytes cross-check
         // before any 4 MiB allocation happens.
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(MAGIC_V3);
         bytes.extend_from_slice(&(1u64 << 20).to_le_bytes());
         bytes.extend_from_slice(&[0u8; 4]);
         let path = tmp("overlong.etidx");
@@ -370,6 +749,8 @@ mod tests {
             Err(IndexIoError::Corrupt(m)) => assert!(m.contains("remain"), "message: {m}"),
             other => panic!("expected corrupt error, got {other:?}"),
         }
+        assert!(read_index_with_hierarchy_with(&path, Backend::Mapped).is_err());
+        assert!(read_index_info(&path).is_err());
     }
 
     #[test]
@@ -383,6 +764,8 @@ mod tests {
         bytes.extend_from_slice(b"junk");
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(read_index(&path), Err(IndexIoError::Corrupt(_))));
+        assert!(read_index_with_hierarchy_with(&path, Backend::Mapped).is_err());
+        assert!(read_index_info(&path).is_err());
     }
 
     #[test]
@@ -390,10 +773,14 @@ mod tests {
         let g = EdgeIndexedGraph::new(et_gen::fixtures::paper_example().graph.clone());
         let tau = et_truss::decompose_parallel(&g).trussness;
         let mut built = build_index(&g, Variant::COptimal).index;
-        built.sn_members[0] = 10_000; // out of range edge id
+        built.sn_members.to_mut()[0] = 10_000; // out of range edge id
         let path = tmp("tamper.etidx");
         write_index(&built, &tau, &path).unwrap();
         assert!(matches!(read_index(&path), Err(IndexIoError::Corrupt(_))));
+        assert!(matches!(
+            read_index_with_hierarchy_with(&path, Backend::Mapped),
+            Err(IndexIoError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -187,7 +187,7 @@ mod tests {
 
         // Mislabel a supernode's trussness.
         let mut broken2 = good.clone();
-        broken2.sn_trussness[0] += 1;
+        broken2.sn_trussness.to_mut()[0] += 1;
         assert!(validate_index(&eg, &tau, &broken2).is_err());
     }
 }

@@ -1,5 +1,6 @@
 //! Compressed-sparse-row storage for simple undirected graphs.
 
+use crate::buf::Buf;
 use crate::VertexId;
 
 /// A simple, undirected, unweighted graph in CSR form.
@@ -13,10 +14,14 @@ use crate::VertexId;
 ///
 /// Both directions of every undirected edge are stored, so
 /// `num_arcs() == 2 * num_edges()`.
+///
+/// The arrays live in a [`Buf`], so a graph can be backed either by owned
+/// heap vectors or by zero-copy views of a memory-mapped binary file; the
+/// two compare equal whenever their contents do.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
-    offsets: Vec<usize>,
-    neighbors: Vec<VertexId>,
+    offsets: Buf<usize>,
+    neighbors: Buf<VertexId>,
 }
 
 impl CsrGraph {
@@ -27,7 +32,10 @@ impl CsrGraph {
     /// self-loops, and the arc set must be symmetric. Debug builds assert
     /// these invariants; use [`CsrGraph::validate`] to check in release mode.
     pub fn from_raw(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
-        let g = CsrGraph { offsets, neighbors };
+        let g = CsrGraph {
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+        };
         debug_assert!(g.validate().is_ok(), "invalid CSR arrays");
         g
     }
@@ -36,6 +44,13 @@ impl CsrGraph {
     /// (e.g. binary files): runs [`CsrGraph::validate`] before the graph is
     /// handed out, in release builds too.
     pub fn try_from_raw(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Self, String> {
+        Self::try_from_bufs(offsets.into(), neighbors.into())
+    }
+
+    /// Backend-agnostic counterpart of [`CsrGraph::try_from_raw`]: validates
+    /// the arrays in place — borrowed mapped views included — without taking
+    /// an owned copy.
+    pub fn try_from_bufs(offsets: Buf<usize>, neighbors: Buf<VertexId>) -> Result<Self, String> {
         let g = CsrGraph { offsets, neighbors };
         g.validate()?;
         Ok(g)
@@ -44,8 +59,17 @@ impl CsrGraph {
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
         CsrGraph {
-            offsets: vec![0; n + 1],
-            neighbors: Vec::new(),
+            offsets: vec![0; n + 1].into(),
+            neighbors: Buf::default(),
+        }
+    }
+
+    /// The storage backend of the adjacency arrays ("owned" / "mapped").
+    pub fn storage_backend(&self) -> &'static str {
+        if self.offsets.is_mapped() || self.neighbors.is_mapped() {
+            "mapped"
+        } else {
+            "owned"
         }
     }
 
@@ -257,8 +281,8 @@ mod tests {
     #[test]
     fn validate_catches_asymmetry() {
         let g = CsrGraph {
-            offsets: vec![0, 1, 1],
-            neighbors: vec![1],
+            offsets: vec![0, 1, 1].into(),
+            neighbors: vec![1].into(),
         };
         assert!(g.validate().is_err());
     }
@@ -266,8 +290,8 @@ mod tests {
     #[test]
     fn validate_catches_unsorted_row() {
         let g = CsrGraph {
-            offsets: vec![0, 2, 3, 4],
-            neighbors: vec![2, 1, 0, 0],
+            offsets: vec![0, 2, 3, 4].into(),
+            neighbors: vec![2, 1, 0, 0].into(),
         };
         assert!(g.validate().is_err());
     }

@@ -7,6 +7,7 @@
 //! This module provides both: a per-arc `eid` array aligned with the CSR
 //! neighbor array, and an `eid → (u, v)` endpoint table.
 
+use crate::buf::Buf;
 use crate::{CsrGraph, EdgeId, GraphError, VertexId};
 use rayon::prelude::*;
 
@@ -18,7 +19,10 @@ use rayon::prelude::*;
 #[derive(Clone, Debug)]
 pub struct EdgeIndexedGraph {
     graph: CsrGraph,
-    arc_eid: Vec<EdgeId>,
+    // Derived at index time; stored as a Buf so the struct is uniform with
+    // its (possibly mapped) graph. Endpoints stay a plain Vec: tuple layout
+    // is not guaranteed, so the pair table is never reinterpreted from disk.
+    arc_eid: Buf<EdgeId>,
     endpoints: Vec<(VertexId, VertexId)>,
 }
 
@@ -87,7 +91,7 @@ impl EdgeIndexedGraph {
 
         Ok(EdgeIndexedGraph {
             graph,
-            arc_eid,
+            arc_eid: arc_eid.into(),
             endpoints,
         })
     }

@@ -30,6 +30,7 @@
 //! load, with `ingest.bytes`, `ingest.chunks`, and `ingest.parse_errors`
 //! counters.
 
+use crate::buf::{Backend, Mmap};
 use crate::{CsrGraph, EdgeList, GraphError, VertexId};
 use rayon::prelude::*;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -43,14 +44,25 @@ const DECODE_CHUNK: usize = 1 << 16;
 const MIN_CHUNK_BYTES: usize = 64 * 1024;
 
 /// Loads a graph from a path, dispatching on the extension: `.bin` goes to
-/// [`read_binary`], anything else is parsed as a text edge list and built
-/// into a canonical CSR.
+/// [`read_binary`], `.binz` to [`crate::varint::read_binary_compressed`],
+/// anything else is parsed as a text edge list and built into a canonical
+/// CSR. Binary files decode into owned memory; use [`read_graph_with`] to
+/// request the memory-mapped backend.
 pub fn read_graph<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    read_graph_with(path, Backend::Owned)
+}
+
+/// [`read_graph`] with an explicit storage backend for binary files.
+///
+/// Under [`Backend::Mapped`] the `.bin` arrays become zero-copy views of the
+/// mapped file (validated in place, never copied); text and `.binz` inputs
+/// must be decoded, so they always produce owned storage.
+pub fn read_graph_with<P: AsRef<Path>>(path: P, backend: Backend) -> Result<CsrGraph, GraphError> {
     let path = path.as_ref();
-    if path.extension().is_some_and(|e| e == "bin") {
-        read_binary(path)
-    } else {
-        Ok(read_text_edge_list(path)?.build())
+    match path.extension() {
+        Some(e) if e == "bin" => read_binary_with(path, backend),
+        Some(e) if e == "binz" => crate::varint::read_binary_compressed(path),
+        _ => Ok(read_text_edge_list(path)?.build()),
     }
 }
 
@@ -319,11 +331,77 @@ pub fn write_text_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result
     Ok(())
 }
 
-const BINARY_MAGIC: &[u8; 8] = b"ETCSRv01";
+pub(crate) const BINARY_MAGIC: &[u8; 8] = b"ETCSRv01";
 /// Vertex ids are `u32`.
-const MAX_VERTICES: u64 = u32::MAX as u64;
+pub(crate) const MAX_VERTICES: u64 = u32::MAX as u64;
 /// Edge ids are `u32` and every undirected edge stores two arcs.
-const MAX_ARCS: u64 = 2 * (u32::MAX as u64);
+pub(crate) const MAX_ARCS: u64 = 2 * (u32::MAX as u64);
+
+/// The validated header of a binary CSR graph file, readable without
+/// touching the arrays (powers `equitruss info`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinaryHeader {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of directed arcs (2x undirected edges).
+    pub num_arcs: u64,
+    /// Actual file length in bytes (equal to the header-implied size).
+    pub file_len: u64,
+}
+
+impl BinaryHeader {
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_arcs / 2
+    }
+}
+
+pub(crate) fn corrupt_err(message: String) -> GraphError {
+    GraphError::Parse { line: 0, message }
+}
+
+/// Parses and validates the 24-byte ETCSRv01 header against the id-space
+/// caps and the actual file length — before anything is allocated or mapped.
+fn parse_binary_header(header: &[u8; 24], file_len: u64) -> Result<BinaryHeader, GraphError> {
+    if &header[..8] != BINARY_MAGIC {
+        return Err(corrupt_err("bad magic in binary graph file".into()));
+    }
+    let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let arcs = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if n > MAX_VERTICES {
+        return Err(corrupt_err(format!(
+            "vertex count {n} exceeds u32 id space"
+        )));
+    }
+    if arcs > MAX_ARCS {
+        return Err(corrupt_err(format!(
+            "arc count {arcs} exceeds u32 edge id space"
+        )));
+    }
+    let body = (n + 1) * 8 + arcs * 4; // no overflow: both counts capped above
+    let expected = 24 + body;
+    if expected != file_len {
+        return Err(corrupt_err(format!(
+            "file length mismatch: header claims {n} vertices and {arcs} arcs \
+             ({expected} bytes), file has {file_len} bytes"
+        )));
+    }
+    Ok(BinaryHeader {
+        num_vertices: n,
+        num_arcs: arcs,
+        file_len,
+    })
+}
+
+/// Reads and validates only the header of a `.bin` graph file.
+pub fn read_binary_header<P: AsRef<Path>>(path: P) -> Result<BinaryHeader, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    parse_binary_header(&header, file_len)
+}
 
 /// Writes the CSR arrays in a compact little-endian binary format.
 pub fn write_binary<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
@@ -361,38 +439,41 @@ pub fn write_binary<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), Gra
 /// proportional to the claimed sizes. The payload arrives via one bulk
 /// `read_exact` and is decoded in place (arc array in parallel).
 pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    read_binary_with(path, Backend::Owned)
+}
+
+/// [`read_binary`] with an explicit storage backend.
+///
+/// Under [`Backend::Mapped`] the file is memory-mapped once its header has
+/// been validated against the real file length, and the offset/neighbor
+/// arrays become zero-copy typed views: structural validation then runs on
+/// the borrowed slices ([`CsrGraph::try_from_bufs`]) without copying them
+/// onto the heap. On targets where zero-copy reinterpretation of the
+/// little-endian layout is unavailable, this silently falls back to the
+/// owned decode path.
+pub fn read_binary_with<P: AsRef<Path>>(path: P, backend: Backend) -> Result<CsrGraph, GraphError> {
+    let path = path.as_ref();
+    if backend.is_mapped() && crate::buf::ZERO_COPY_TARGET && Mmap::supported() {
+        read_binary_mapped(path)
+    } else {
+        read_binary_owned(path)
+    }
+}
+
+fn read_binary_owned(path: &Path) -> Result<CsrGraph, GraphError> {
     let file = std::fs::File::open(path)?;
     let file_len = file.metadata()?.len();
     let _span = et_obs::span("Ingest").arg("bytes", file_len);
     et_obs::counter_add("ingest.bytes", file_len);
-    let corrupt = |message: String| GraphError::Parse { line: 0, message };
 
     let mut r = BufReader::new(file);
     let mut header = [0u8; 24];
     r.read_exact(&mut header)?;
-    if &header[..8] != BINARY_MAGIC {
-        return Err(corrupt("bad magic in binary graph file".into()));
-    }
-    let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-    let arcs = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-    if n > MAX_VERTICES {
-        return Err(corrupt(format!("vertex count {n} exceeds u32 id space")));
-    }
-    if arcs > MAX_ARCS {
-        return Err(corrupt(format!(
-            "arc count {arcs} exceeds u32 edge id space"
-        )));
-    }
-    let body = (n + 1) * 8 + arcs * 4; // no overflow: both counts capped above
-    let expected = 24 + body;
-    if expected != file_len {
-        return Err(corrupt(format!(
-            "file length mismatch: header claims {n} vertices and {arcs} arcs \
-             ({expected} bytes), file has {file_len} bytes"
-        )));
-    }
+    let h = parse_binary_header(&header, file_len)?;
+    let (n, arcs) = (h.num_vertices, h.num_arcs);
 
     // One slab read; the size was just proven equal to the real file size.
+    let body = file_len - 24;
     let mut bytes = vec![0u8; body as usize];
     r.read_exact(&mut bytes)?;
     let (off_bytes, nb_bytes) = bytes.split_at((n as usize + 1) * 8);
@@ -413,7 +494,48 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
         });
 
     CsrGraph::try_from_raw(offsets, neighbors)
-        .map_err(|m| corrupt(format!("invalid graph in binary file: {m}")))
+        .map_err(|m| corrupt_err(format!("invalid graph in binary file: {m}")))
+}
+
+/// The zero-copy load: header-validate, map, view. Only compiled on targets
+/// where the on-disk little-endian u64/u32 arrays can be reinterpreted in
+/// place (64-bit little-endian unix).
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+fn read_binary_mapped(path: &Path) -> Result<CsrGraph, GraphError> {
+    use crate::buf::MappedSlice;
+
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let _span = et_obs::span("Ingest").arg("bytes", file_len);
+    et_obs::counter_add("ingest.bytes", file_len);
+    et_obs::counter_add("ingest.mapped", 1);
+
+    if file_len < 24 {
+        return Err(corrupt_err(format!(
+            "binary graph file of {file_len} bytes is shorter than its header"
+        )));
+    }
+    // The header is validated against the real file length *before* any
+    // typed view is built, so views never extend past EOF (no SIGBUS).
+    let map = Mmap::map(&file, file_len as usize).map(std::sync::Arc::new)?;
+    let header: &[u8; 24] = map.bytes()[..24].try_into().expect("24 bytes");
+    let h = parse_binary_header(header, file_len)?;
+    let (n, arcs) = (h.num_vertices as usize, h.num_arcs as usize);
+
+    // On-disk u64 LE == in-memory usize on this target; the mapping is
+    // page-aligned, so offset 24 is 8-aligned and 24 + (n + 1) * 8 is
+    // 4-aligned.
+    let offsets =
+        MappedSlice::<usize>::new(std::sync::Arc::clone(&map), 24, n + 1).map_err(corrupt_err)?;
+    let neighbors =
+        MappedSlice::<VertexId>::new(map, 24 + (n + 1) * 8, arcs).map_err(corrupt_err)?;
+    CsrGraph::try_from_bufs(offsets.into(), neighbors.into())
+        .map_err(|m| corrupt_err(format!("invalid graph in binary file: {m}")))
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+fn read_binary_mapped(path: &Path) -> Result<CsrGraph, GraphError> {
+    read_binary_owned(path)
 }
 
 #[cfg(test)]
@@ -650,5 +772,44 @@ mod tests {
         // Nonzero first offset.
         std::fs::write(&path, craft([1, 1, 2], [1, 0])).unwrap();
         assert!(read_binary(&path).is_err());
+    }
+
+    #[test]
+    fn mapped_load_is_identical_to_owned() {
+        let g = sample();
+        let path = tmp("mapped.bin");
+        write_binary(&g, &path).unwrap();
+        let owned = read_binary_with(&path, Backend::Owned).unwrap();
+        let mapped = read_binary_with(&path, Backend::Mapped).unwrap();
+        assert_eq!(owned, mapped);
+        assert_eq!(owned.storage_backend(), "owned");
+        if crate::buf::ZERO_COPY_TARGET {
+            assert_eq!(mapped.storage_backend(), "mapped");
+        }
+        // Extension dispatch honours the backend too.
+        assert_eq!(owned, read_graph_with(&path, Backend::Mapped).unwrap());
+    }
+
+    #[test]
+    fn mapped_load_rejects_corruption_behind_valid_header() {
+        let g = sample();
+        let path = tmp("mapped-corrupt.bin");
+        write_binary(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncation behind an intact header must fail the length
+        // cross-check before any view is built (no SIGBUS later).
+        for cut in [24usize, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                read_binary_with(&path, Backend::Mapped).is_err(),
+                "cut = {cut}"
+            );
+        }
+        // Structurally invalid payloads are rejected through the mapped
+        // views as well: corrupt the first offset to a huge value.
+        let mut bad = bytes.clone();
+        bad[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(read_binary_with(&path, Backend::Mapped).is_err());
     }
 }

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod builder;
 pub mod csr;
 pub mod edge_index;
@@ -45,8 +46,10 @@ pub mod oriented;
 pub mod packed;
 pub mod schedule;
 pub mod stats;
+pub mod varint;
 pub mod view;
 
+pub use buf::{Backend, Buf, MappedSlice, Mmap};
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use edge_index::EdgeIndexedGraph;

@@ -15,6 +15,7 @@
 //! Because every undirected edge contributes exactly one arc,
 //! `num_arcs() == graph.num_edges()`.
 
+use crate::buf::Buf;
 use crate::{EdgeId, EdgeIndexedGraph, VertexId};
 use rayon::prelude::*;
 
@@ -27,11 +28,11 @@ use rayon::prelude::*;
 #[derive(Clone, Debug)]
 pub struct OrientedGraph {
     /// Row boundaries, length `n + 1`; row `r` spans `offsets[r]..offsets[r+1]`.
-    offsets: Vec<usize>,
+    offsets: Buf<usize>,
     /// Destination *rank* of each arc; strictly increasing within a row.
-    targets: Vec<VertexId>,
+    targets: Buf<VertexId>,
     /// Undirected edge id of each arc, aligned with `targets`.
-    arc_eids: Vec<EdgeId>,
+    arc_eids: Buf<EdgeId>,
     /// `rank[v]` = rank of vertex `v` in the degree order.
     rank: Vec<VertexId>,
     /// `order[r]` = vertex with rank `r` (inverse of `rank`).
@@ -105,9 +106,9 @@ impl OrientedGraph {
         });
 
         OrientedGraph {
-            offsets,
-            targets,
-            arc_eids,
+            offsets: offsets.into(),
+            targets: targets.into(),
+            arc_eids: arc_eids.into(),
             rank,
             order,
         }
@@ -266,7 +267,7 @@ mod tests {
     fn validate_flags_corruption() {
         let eg = indexed(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
         let mut og = OrientedGraph::build(&eg);
-        og.arc_eids.swap(0, 1);
+        og.arc_eids.to_mut().swap(0, 1);
         assert!(og.validate(&eg).is_err());
     }
 }

@@ -1,0 +1,375 @@
+//! Delta/varint-compressed adjacency encoding for cold storage.
+//!
+//! The `.binz` format (`ETCSZv01`) stores each CSR row as LEB128 varints:
+//! the row's degree, then its strictly-increasing neighbor list
+//! delta-encoded (first neighbor absolute, every later one as the gap to
+//! its predecessor). Social-network rows are gap-dense, so most bytes are
+//! single-byte varints — typically 3–5x smaller than the fixed-width
+//! `.bin` layout.
+//!
+//! Compressed rows cannot be addressed without decoding, so this format is
+//! decode-on-load: [`read_binary_compressed`] always materializes owned
+//! arrays, whatever backend the caller asked for. Use `.bin` + `--mmap`
+//! for the zero-copy hot path; `.binz` trades load CPU for cold bytes.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "ETCSZv01" | n: u64 LE | arcs: u64 LE
+//! per vertex u in 0..n:
+//!     varint(degree(u))
+//!     varint(N(u)[0]), varint(N(u)[1] - N(u)[0]), ...
+//! ```
+//!
+//! Every varint terminates within 10 bytes; a file that ends mid-varint,
+//! mid-row, or carries trailing bytes is rejected with a located error.
+
+use crate::io::{corrupt_err, BinaryHeader, MAX_ARCS, MAX_VERTICES};
+use crate::{CsrGraph, GraphError, VertexId};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of the compressed adjacency format.
+pub const COMPRESSED_MAGIC: &[u8; 8] = b"ETCSZv01";
+
+/// Appends `x` to `out` as an LEB128 varint (7 bits per byte, little-endian,
+/// high bit = continuation).
+pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint starting at `*pos`, advancing `*pos` past it.
+///
+/// Errors on truncation (input ends mid-varint) and on overlong encodings
+/// that overflow 64 bits.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| format!("input ends mid-varint at byte {}", *pos))?;
+        *pos += 1;
+        let payload = (b & 0x7f) as u64;
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(format!("varint overflows u64 at byte {}", *pos - 1));
+        }
+        x |= payload << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes `graph` in the delta/varint-compressed `.binz` format.
+pub fn write_binary_compressed<P: AsRef<Path>>(
+    graph: &CsrGraph,
+    path: P,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(COMPRESSED_MAGIC)?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_arcs() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(1 << 16);
+    for u in graph.vertices() {
+        let row = graph.neighbors(u);
+        write_varint(&mut buf, row.len() as u64);
+        let mut prev = 0u64;
+        for (i, &v) in row.iter().enumerate() {
+            let v = v as u64;
+            // Rows are strictly increasing, so gaps after the first entry
+            // are >= 1; the first entry is stored absolute.
+            let gap = if i == 0 { v } else { v - prev };
+            write_varint(&mut buf, gap);
+            prev = v;
+        }
+        if buf.len() >= 1 << 16 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary_compressed`], decoding into owned
+/// arrays and running full structural validation.
+pub fn read_binary_compressed<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let _span = et_obs::span("Ingest").arg("bytes", file_len);
+    et_obs::counter_add("ingest.bytes", file_len);
+
+    let mut r = std::io::BufReader::new(file);
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let h = parse_compressed_header(&header, file_len)?;
+    let (n, arcs) = (h.num_vertices, h.num_arcs);
+
+    let mut bytes = Vec::with_capacity((file_len - 24) as usize);
+    r.read_to_end(&mut bytes)?;
+
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(arcs as usize);
+    offsets.push(0usize);
+    let mut pos = 0usize;
+    for u in 0..n {
+        let deg = read_varint(&bytes, &mut pos).map_err(row_err(u))?;
+        if neighbors.len() as u64 + deg > arcs {
+            return Err(corrupt_err(format!(
+                "row {u} overflows the declared arc count {arcs}"
+            )));
+        }
+        let mut prev = 0u64;
+        for i in 0..deg {
+            let gap = read_varint(&bytes, &mut pos).map_err(row_err(u))?;
+            let v = if i == 0 { gap } else { prev + gap };
+            if v > MAX_VERTICES {
+                return Err(corrupt_err(format!(
+                    "row {u} decodes an out-of-range vertex id {v}"
+                )));
+            }
+            neighbors.push(v as VertexId);
+            prev = v;
+        }
+        offsets.push(neighbors.len());
+    }
+    if neighbors.len() as u64 != arcs {
+        return Err(corrupt_err(format!(
+            "decoded {} arcs, header claims {arcs}",
+            neighbors.len()
+        )));
+    }
+    if pos != bytes.len() {
+        return Err(corrupt_err(format!(
+            "{} trailing bytes after the last row",
+            bytes.len() - pos
+        )));
+    }
+    CsrGraph::try_from_raw(offsets, neighbors)
+        .map_err(|m| corrupt_err(format!("invalid graph in compressed file: {m}")))
+}
+
+fn row_err(u: u64) -> impl Fn(String) -> GraphError {
+    move |m| corrupt_err(format!("corrupt compressed row {u}: {m}"))
+}
+
+/// Validates the 24-byte ETCSZv01 header against the id-space caps and the
+/// minimum well-formed body size (every varint costs at least one byte).
+fn parse_compressed_header(header: &[u8; 24], file_len: u64) -> Result<BinaryHeader, GraphError> {
+    if &header[..8] != COMPRESSED_MAGIC {
+        return Err(corrupt_err("bad magic in compressed graph file".into()));
+    }
+    let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let arcs = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if n > MAX_VERTICES {
+        return Err(corrupt_err(format!(
+            "vertex count {n} exceeds u32 id space"
+        )));
+    }
+    if arcs > MAX_ARCS {
+        return Err(corrupt_err(format!(
+            "arc count {arcs} exceeds u32 edge id space"
+        )));
+    }
+    // Every degree and every gap costs at least one byte, so a well-formed
+    // body is at least n + arcs bytes: corrupt headers fail here before the
+    // output arrays are reserved.
+    let min_body = n + arcs;
+    if file_len < 24 + min_body {
+        return Err(corrupt_err(format!(
+            "file length mismatch: header claims {n} vertices and {arcs} arcs \
+             (>= {} bytes), file has {file_len} bytes",
+            24 + min_body
+        )));
+    }
+    Ok(BinaryHeader {
+        num_vertices: n,
+        num_arcs: arcs,
+        file_len,
+    })
+}
+
+/// Reads and validates only the header of a `.binz` compressed graph file —
+/// no row is decoded, no array allocated (powers `equitruss info`).
+pub fn read_compressed_header<P: AsRef<Path>>(path: P) -> Result<BinaryHeader, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = std::io::BufReader::new(file);
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    parse_compressed_header(&header, file_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("et_graph_varint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &x in &cases {
+            write_varint(&mut buf, x);
+        }
+        let mut pos = 0;
+        for &x in &cases {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), x);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        // A continuation bit with nothing after it.
+        let mut pos = 0;
+        assert!(read_varint(&[0x80], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(read_varint(&[], &mut pos).is_err());
+        // 11 bytes of continuation overflows 64 bits.
+        let overlong = [0xffu8; 11];
+        let mut pos = 0;
+        assert!(read_varint(&overlong, &mut pos).is_err());
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)])
+                .build();
+        let path = tmp("roundtrip.binz");
+        write_binary_compressed(&g, &path).unwrap();
+        let g2 = read_binary_compressed(&path).unwrap();
+        assert_eq!(g, g2);
+        // Extension dispatch reaches the same decoder.
+        assert_eq!(g, crate::io::read_graph(&path).unwrap());
+    }
+
+    #[test]
+    fn compressed_is_smaller_than_fixed_width() {
+        // A 40-clique: dense rows with gap-1 deltas compress well.
+        let edges: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|u| (u + 1..40).map(move |v| (u, v)))
+            .collect();
+        let g = GraphBuilder::from_edges(40, &edges).build();
+        let pz = tmp("clique.binz");
+        let pb = tmp("clique.bin");
+        write_binary_compressed(&g, &pz).unwrap();
+        crate::io::write_binary(&g, &pb).unwrap();
+        let (sz, sb) = (
+            std::fs::metadata(&pz).unwrap().len(),
+            std::fs::metadata(&pb).unwrap().len(),
+        );
+        assert!(sz * 2 < sb, "compressed {sz} vs fixed {sb}");
+        assert_eq!(read_binary_compressed(&pz).unwrap(), g);
+    }
+
+    #[test]
+    fn truncation_mid_varint_is_rejected() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).build();
+        let path = tmp("trunc.binz");
+        write_binary_compressed(&g, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Chop at every byte boundary inside the body: each must error (the
+        // min-length check or the mid-varint/mid-row checks), never panic.
+        for cut in 0..full.len() {
+            let p = tmp("trunc_cut.binz");
+            std::fs::write(&p, &full[..cut]).unwrap();
+            assert!(read_binary_compressed(&p).is_err(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build();
+        let path = tmp("trailing.binz");
+        write_binary_compressed(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_binary_compressed(&path) {
+            Err(GraphError::Parse { message, .. }) => {
+                assert!(message.contains("trailing"), "message: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_are_rejected_before_allocation() {
+        // Huge arc count with a tiny body: the min-length check fires.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(COMPRESSED_MAGIC);
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let path = tmp("huge.binz");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_binary_compressed(&path).is_err());
+
+        // Arc count inside the cap but inconsistent with the rows.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build();
+        let p2 = tmp("badarcs.binz");
+        write_binary_compressed(&g, &p2).unwrap();
+        let mut bytes = std::fs::read(&p2).unwrap();
+        bytes[16..24].copy_from_slice(&4u64.to_le_bytes()); // actually 6 arcs
+        std::fs::write(&p2, &bytes).unwrap();
+        assert!(read_binary_compressed(&p2).is_err());
+    }
+
+    #[test]
+    fn asymmetric_payload_fails_validation() {
+        // Hand-craft rows that decode fine but are structurally invalid:
+        // vertex 0 lists neighbor 1, vertex 1 lists nothing.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(COMPRESSED_MAGIC);
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        write_varint(&mut bytes, 1); // deg(0) = 1
+        write_varint(&mut bytes, 1); // N(0) = [1]
+        write_varint(&mut bytes, 0); // deg(1) = 0
+        let path = tmp("asym.binz");
+        std::fs::write(&path, &bytes).unwrap();
+        match read_binary_compressed(&path) {
+            Err(GraphError::Parse { message, .. }) => {
+                assert!(message.contains("invalid graph"), "message: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::empty(3);
+        let path = tmp("empty.binz");
+        write_binary_compressed(&g, &path).unwrap();
+        assert_eq!(read_binary_compressed(&path).unwrap(), g);
+    }
+}
