@@ -4,9 +4,11 @@
 //! construction under both SpNode/SpEdge schedules, timed with plain wall
 //! clocks and dumped as JSON artifacts (`BENCH_support.json` +
 //! `BENCH_index.json` by default). Each support row names the winning
-//! kernel for its shape and carries the median `SupportChunks` /
-//! `PeelFrontier` wave imbalance from a dedicated traced run, so the
-//! work-aware scheduler's balance is visible in the artifact diff.
+//! kernel for its shape, times the `Auto` selector end to end against it
+//! (the auto-vs-fixed column), and carries the median `SupportChunks` /
+//! `PeelFrontier` wave imbalance plus the work-stealing task/steal/remote
+//! counters from a dedicated traced run, so the scheduler's balance is
+//! visible in the artifact diff.
 //!
 //! This is not a statistics-grade benchmark — criterion owns that — but a
 //! cheap CI tripwire: it runs in seconds, proves the kernels agree, and
@@ -39,8 +41,8 @@
 
 use et_community::{query_communities, query_communities_bfs, TcpIndex};
 use et_core::{
-    build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, TrussHierarchy,
-    Variant,
+    build_index_with_decomposition_scheduled, KernelTimings, PhiGroups, Schedule, SupportKernel,
+    TrussHierarchy, Variant,
 };
 use et_graph::{io as graph_io, Backend, EdgeIndexedGraph};
 use rayon::prelude::*;
@@ -127,6 +129,21 @@ struct GraphRow {
     /// default.
     support_best_kernel: String,
     support_best_speedup_vs_oriented: f64,
+    /// Kernel [`SupportKernel::Auto`] resolves to on this shape, the wall
+    /// time of the auto arm end to end (shape sketch + chosen kernel), and
+    /// its speedup over the scalar oriented default — the auto-vs-fixed
+    /// column: close to `support_best_speedup_vs_oriented` means the
+    /// decision table picked right.
+    support_auto_choice: String,
+    support_auto_ms: f64,
+    support_auto_speedup_vs_oriented: f64,
+    /// Work-stealing telemetry from the dedicated traced run (oriented
+    /// support + bucket peel): task ranges executed, ranges stolen from
+    /// other shards, and steals that crossed a NUMA-node boundary. All
+    /// zero when `ET_STEAL=0` disables the stealing scheduler.
+    sched_tasks: u64,
+    sched_steals: u64,
+    sched_remote_tasks: u64,
     /// Median `max/mean` busy-time ratio (×1000) across Support chunk
     /// waves and peel frontier waves, from a dedicated traced run of the
     /// oriented kernel + bucket peeler (absent if no wave was recorded).
@@ -284,9 +301,16 @@ fn best_pair_ms<A, B>(
 
 fn main() {
     // Honour ET_TRACE / ET_MEM so the artifacts can carry span, wave, and
-    // memory telemetry when asked for (both default off: zero overhead).
+    // memory telemetry when asked for (both default off: zero overhead),
+    // plus ET_NUMA / ET_STEAL so the scheduling layer matches what a
+    // production `equitruss build` run would do under the same env.
     et_obs::init_from_env();
     et_obs::init_mem_from_env();
+    et_graph::numa::init_numa_from_env();
+    et_graph::steal::init_stealing_from_env();
+    if et_graph::numa::numa_enabled() {
+        et_graph::numa::pin_rayon_workers();
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let large = args.iter().any(|a| a == "--large");
@@ -382,6 +406,12 @@ fn main() {
         );
         let cover_ms = best_ms(reps, || et_triangle::compute_support_cover(g));
 
+        // Auto arm in the same scalar regime: each rep pays the full cost
+        // (shape sketch + resolved kernel), so the column is an honest
+        // auto-vs-fixed comparison, not a cached-choice one.
+        let auto_choice = SupportKernel::Auto.resolve(g);
+        let auto_ms = best_ms(reps, || SupportKernel::Auto.compute(g));
+
         // SIMD arms from the same binary, via the runtime toggle.
         let (merge_simd, oriented_simd, cover_simd) = if et_triangle::simd_compiled() {
             et_triangle::set_simd_enabled(true);
@@ -452,16 +482,23 @@ fn main() {
         let p50 = |metric: &str| snap.distribution(metric).map(|d| d.p50);
         let support_imb = p50("par.imbalance_x1000.SupportChunks");
         let peel_imb = p50("par.imbalance_x1000.PeelFrontier");
+        let sched_tasks = snap.counter("sched.tasks");
+        let sched_steals = snap.counter("sched.steals");
+        let sched_remote_tasks = snap.counter("sched.remote_tasks");
         et_obs::reset();
         et_obs::set_enabled(was_tracing);
 
         println!(
             "{name}: m={} support merge {merge_ms:.1}ms vs oriented {oriented_ms:.1}ms \
              ({:.2}x) vs cover {cover_ms:.1}ms | best {best_kernel} ({:.2}x vs oriented) | \
-             peel scan {scan_ms:.1}ms vs bucket {bucket_ms:.1}ms ({:.2}x)",
+             auto→{} {auto_ms:.1}ms ({:.2}x vs oriented) | \
+             peel scan {scan_ms:.1}ms vs bucket {bucket_ms:.1}ms ({:.2}x) | \
+             steal tasks={sched_tasks} steals={sched_steals} remote={sched_remote_tasks}",
             g.num_edges(),
             merge_ms / oriented_ms,
             oriented_ms / best_arm_ms,
+            auto_choice.name(),
+            oriented_ms / auto_ms,
             scan_ms / bucket_ms,
         );
         rows.push(GraphRow {
@@ -477,6 +514,12 @@ fn main() {
             support_cover_simd_ms: cover_simd,
             support_best_kernel: best_kernel.to_string(),
             support_best_speedup_vs_oriented: oriented_ms / best_arm_ms,
+            support_auto_choice: auto_choice.name().to_string(),
+            support_auto_ms: auto_ms,
+            support_auto_speedup_vs_oriented: oriented_ms / auto_ms,
+            sched_tasks,
+            sched_steals,
+            sched_remote_tasks,
             support_imbalance_x1000: support_imb,
             peel_imbalance_x1000: peel_imb,
             peel_scan_ms: scan_ms,

@@ -25,13 +25,16 @@ const ALL_EXPERIMENTS: [&str; 12] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] [--mmap] [--trace-out FILE] \
+        "usage: reproduce [--scale F] [--threads 1,2,4] [--out DIR] [--mmap] [--numa] [--trace-out FILE] \
          <experiment>...\n\
          experiments: {} all\n\
          --mmap            memory-map cached dataset binaries instead of decoding them\n\
-         \u{20}                  onto the heap (same as ET_MMAP=1)\n\
+         \u{20}                  onto the heap (same as ET_MMAP=1; the flag wins on conflict)\n\
+         --numa            NUMA-aware placement: pin workers to nodes, shard work\n\
+         \u{20}                  (same as ET_NUMA=1; the flag wins on conflict)\n\
          --trace-out FILE  record spans + counters across all experiments and write\n\
          \u{20}                  chrome://tracing JSON to FILE (also enabled by ET_TRACE=1)\n\
+         ET_STEAL=0        disable the work-stealing scheduler (default on)\n\
          ET_MEM=1          attribute allocation deltas + peaks to pipeline phases",
         ALL_EXPERIMENTS.join(" ")
     );
@@ -44,6 +47,8 @@ fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut cli_mmap: Option<bool> = None;
+    let mut cli_numa: Option<bool> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -71,10 +76,8 @@ fn main() -> ExitCode {
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
-            // Dataset loading resolves its backend from the environment
-            // (`Backend::from_env` inside `et_bench::datasets`), so the flag
-            // is just the CLI spelling of ET_MMAP=1.
-            "--mmap" => std::env::set_var("ET_MMAP", "1"),
+            "--mmap" => cli_mmap = Some(true),
+            "--numa" => cli_numa = Some(true),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             exp => wanted.push(exp.to_string()),
@@ -97,6 +100,18 @@ fn main() -> ExitCode {
     et_obs::init_mem_from_env();
     if trace_out.is_some() {
         et_obs::set_enabled(true);
+    }
+    // Dataset loading resolves its backend from the environment
+    // (`Backend::from_env` inside `et_bench::datasets`), so the resolved
+    // mmap choice is written back to ET_MMAP — after the CLI-wins-with-
+    // warning resolution, never silently behind the user's back.
+    if et_cli::resolve_toggle("mmap", cli_mmap, "ET_MMAP") {
+        std::env::set_var("ET_MMAP", "1");
+    }
+    et_graph::numa::set_numa_enabled(et_cli::resolve_toggle("numa", cli_numa, "ET_NUMA"));
+    et_graph::steal::init_stealing_from_env();
+    if et_graph::numa::numa_enabled() {
+        et_graph::numa::pin_rayon_workers();
     }
     // Spans and counters are reset per experiment so each report carries
     // only its own metrics; the trace file accumulates everything (the

@@ -2,7 +2,7 @@
 
 use et_cli::{
     cmd_build, cmd_generate, cmd_info, cmd_query, cmd_query_batch, cmd_stats, parse_engine,
-    parse_support_kernel, parse_variant,
+    parse_support_kernel, parse_variant, resolve_support_kernel, resolve_toggle,
 };
 use et_graph::Backend;
 use std::path::PathBuf;
@@ -15,21 +15,26 @@ fn usage() -> ! {
          equitruss stats <graph>\n  \
          equitruss info <file.{{bin|binz|etidx}}>\n  \
          equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
-         \x20               [--support-kernel oriented|merge|cover-edge]\n  \
+         \x20               [--support-kernel oriented|merge|cover-edge|auto]\n  \
          equitruss query <graph> <index.etidx> -v <vertex> -k <level> [--engine hierarchy|bfs]\n  \
          equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n\n\
          options (any command):\n  \
          --mmap                     memory-map .bin graphs and .etidx indexes (zero-copy)\n  \
          ET_MMAP=1                  same as --mmap, via the environment\n  \
+         --numa                     NUMA-aware placement: pin workers to nodes, shard work\n  \
+         ET_NUMA=1                  same as --numa, via the environment\n  \
+         ET_STEAL=0                 disable the work-stealing scheduler (default on)\n  \
+         ET_SUPPORT_KERNEL=<name>   default Support kernel (CLI flag wins, with a warning)\n  \
          --trace-out <trace.json>   record spans + counters, write chrome://tracing JSON\n  \
          ET_TRACE=1                 enable tracing without writing a file\n  \
-         ET_MEM=1                   attribute allocation deltas + peaks to pipeline phases"
+         ET_MEM=1                   attribute allocation deltas + peaks to pipeline phases\n\n\
+         CLI flags always win over conflicting environment settings (with a warning)."
     );
     std::process::exit(2);
 }
 
 /// Flags that take no value (presence alone means \"on\").
-const BOOLEAN_FLAGS: &[&str] = &["mmap"];
+const BOOLEAN_FLAGS: &[&str] = &["mmap", "numa"];
 
 struct Args {
     positional: Vec<String>,
@@ -72,12 +77,19 @@ fn main() -> ExitCode {
     if trace_out.is_some() {
         et_obs::set_enabled(true);
     }
-    // --mmap wins; otherwise ET_MMAP=1 selects the mapped backend.
-    let backend = if args.flags.contains_key("mmap") {
+    // CLI flags win over their environment twins; a disagreement warns.
+    let cli_mmap = args.flags.contains_key("mmap").then_some(true);
+    let backend = if resolve_toggle("mmap", cli_mmap, "ET_MMAP") {
         Backend::Mapped
     } else {
-        Backend::from_env()
+        Backend::Owned
     };
+    let cli_numa = args.flags.contains_key("numa").then_some(true);
+    et_graph::numa::set_numa_enabled(resolve_toggle("numa", cli_numa, "ET_NUMA"));
+    et_graph::steal::init_stealing_from_env();
+    if et_graph::numa::numa_enabled() {
+        et_graph::numa::pin_rayon_workers();
+    }
 
     let result = match args.positional[0].as_str() {
         "generate" => {
@@ -107,16 +119,17 @@ fn main() -> ExitCode {
                 },
                 None => et_core::Variant::Afforest,
             };
-            let kernel = match get_flag("support-kernel") {
+            let cli_kernel = match get_flag("support-kernel") {
                 Some(k) => match parse_support_kernel(&k) {
-                    Ok(k) => k,
+                    Ok(k) => Some(k),
                     Err(e) => {
                         eprintln!("{e}");
                         return ExitCode::FAILURE;
                     }
                 },
-                None => et_core::SupportKernel::default(),
+                None => None,
             };
+            let kernel = resolve_support_kernel(cli_kernel);
             cmd_build(
                 &PathBuf::from(graph),
                 &PathBuf::from(require_flag("o")),

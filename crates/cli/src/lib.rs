@@ -54,15 +54,76 @@ pub fn parse_variant(name: &str) -> Result<Variant, String> {
     }
 }
 
-/// Parses a Support kernel name (`oriented` / `merge` / `cover-edge`).
+/// Parses a Support kernel name (`oriented` / `merge` / `cover-edge` /
+/// `auto`).
 pub fn parse_support_kernel(name: &str) -> Result<SupportKernel, String> {
     match name.to_ascii_lowercase().as_str() {
         "oriented" => Ok(SupportKernel::Oriented),
         "merge" => Ok(SupportKernel::Merge),
         "cover-edge" | "cover" | "ce" => Ok(SupportKernel::CoverEdge),
+        "auto" => Ok(SupportKernel::Auto),
         other => Err(format!(
-            "unknown support kernel {other:?} (expected oriented | merge | cover-edge)"
+            "unknown support kernel {other:?} (expected oriented | merge | cover-edge | auto)"
         )),
+    }
+}
+
+/// Resolves a boolean runtime toggle from a CLI flag and its environment
+/// variable. The CLI flag wins; when both are present and disagree, a
+/// warning is printed to stderr naming both settings — env vars must never
+/// silently override an explicit flag (or vice versa).
+pub fn resolve_toggle(flag_name: &str, cli: Option<bool>, env_var: &str) -> bool {
+    let env = std::env::var(env_var)
+        .ok()
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    match (cli, env) {
+        (Some(c), Some(e)) => {
+            if c != e {
+                eprintln!(
+                    "warning: --{flag_name} conflicts with {env_var}={} in the environment; \
+                     the command-line flag wins ({flag_name} = {c})",
+                    std::env::var(env_var).unwrap_or_default()
+                );
+            }
+            c
+        }
+        (Some(c), None) => c,
+        (None, Some(e)) => e,
+        (None, None) => false,
+    }
+}
+
+/// Resolves the Support kernel from an optional CLI value and the
+/// `ET_SUPPORT_KERNEL` environment variable. The CLI value wins; a
+/// conflicting env setting produces a stderr warning instead of being
+/// silently ignored. An unparsable env value is reported and skipped (env
+/// typos must not abort a run the CLI fully specifies).
+pub fn resolve_support_kernel(cli: Option<SupportKernel>) -> SupportKernel {
+    let env =
+        std::env::var("ET_SUPPORT_KERNEL")
+            .ok()
+            .and_then(|v| match parse_support_kernel(&v) {
+                Ok(k) => Some(k),
+                Err(e) => {
+                    eprintln!("warning: ignoring ET_SUPPORT_KERNEL: {e}");
+                    None
+                }
+            });
+    match (cli, env) {
+        (Some(c), Some(e)) => {
+            if c != e {
+                eprintln!(
+                    "warning: --support-kernel {} conflicts with ET_SUPPORT_KERNEL={} in the \
+                     environment; the command-line flag wins",
+                    c.name(),
+                    e.name()
+                );
+            }
+            c
+        }
+        (Some(c), None) => c,
+        (None, Some(e)) => e,
+        (None, None) => SupportKernel::default(),
     }
 }
 
@@ -234,6 +295,9 @@ pub fn cmd_build(
     backend: Backend,
 ) -> CliResult {
     let graph = load_graph_with(graph_path, backend)?;
+    // Under --numa, spread the shared CSR pages across nodes before the
+    // kernels start hammering them from every socket (no-op otherwise).
+    graph.graph().place(et_graph::Placement::Interleave);
     let t0 = std::time::Instant::now();
     let support = {
         let _span = et_obs::span("Support");

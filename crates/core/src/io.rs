@@ -349,6 +349,9 @@ fn read_index_mapped(path: &Path) -> Result<(SuperGraph, Buf<u32>, TrussHierarch
     use et_graph::{MappedSlice, Mmap};
 
     let map = Mmap::map_path(path).map_err(IndexIoError::Io)?;
+    // The section cursor walks the file front-to-back once (validating or
+    // decoding every array); let readahead run ahead of it.
+    map.advise(et_graph::Advice::Sequential);
     let bytes: &[u8] = map.bytes();
     let mut r = SliceReader {
         buf: bytes,

@@ -108,6 +108,24 @@ mod sys {
     pub const PROT_READ: c_int = 1;
     pub const MAP_PRIVATE: c_int = 2;
     pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MADV_WILLNEED: c_int = 3;
+}
+
+/// Access-pattern hints forwarded to `madvise` on mapped storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// The region will be read front-to-back once (streaming ingest or
+    /// varint decode): aggressive readahead, pages dropped soon after use.
+    Sequential,
+    /// The region will be needed shortly (e.g. neighbor arrays right before
+    /// an oriented build): start faulting pages in now.
+    WillNeed,
 }
 
 /// A read-only, private memory mapping of an entire file.
@@ -200,6 +218,42 @@ impl Mmap {
     pub fn bytes(&self) -> &[u8] {
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
+
+    /// Applies an access-pattern hint to a byte region of the mapping.
+    /// Best-effort: out-of-range regions are clamped, syscall failures
+    /// ignored (the hint only affects readahead, never correctness).
+    pub fn advise_region(&self, advice: Advice, byte_offset: usize, byte_len: usize) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let start = byte_offset.min(self.len);
+            let len = byte_len.min(self.len - start);
+            if len == 0 {
+                return;
+            }
+            // madvise wants a page-aligned start; round down (hinting a few
+            // extra bytes of the same page is harmless).
+            let page = 4096usize;
+            let addr = self.ptr as usize + start;
+            let aligned = addr & !(page - 1);
+            let len = len + (addr - aligned);
+            let advice = match advice {
+                Advice::Sequential => sys::MADV_SEQUENTIAL,
+                Advice::WillNeed => sys::MADV_WILLNEED,
+            };
+            unsafe {
+                sys::madvise(aligned as *mut std::ffi::c_void, len, advice);
+            }
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            let _ = (advice, byte_offset, byte_len);
+        }
+    }
+
+    /// [`Mmap::advise_region`] over the whole mapping.
+    pub fn advise(&self, advice: Advice) {
+        self.advise_region(advice, 0, self.len);
+    }
 }
 
 impl Drop for Mmap {
@@ -283,6 +337,16 @@ impl<T: Pod> MappedSlice<T> {
     #[inline]
     pub fn mapping(&self) -> &Arc<Mmap> {
         &self.map
+    }
+
+    /// Applies an access-pattern hint to exactly this view's region.
+    pub fn advise(&self, advice: Advice) {
+        if self.len == 0 {
+            return;
+        }
+        let offset = self.ptr as usize - self.map.ptr as usize;
+        self.map
+            .advise_region(advice, offset, self.len * std::mem::size_of::<T>());
     }
 }
 
@@ -368,6 +432,40 @@ impl<T: Pod> Buf<T> {
             Buf::Mapped(_) => 0,
         }
     }
+
+    /// Applies an access-pattern hint. Only mapped buffers reach `madvise`;
+    /// owned heap memory is already resident, so the hint is a no-op there.
+    pub fn advise(&self, advice: Advice) {
+        if let Buf::Mapped(m) = self {
+            m.advise(advice);
+        }
+    }
+
+    /// Applies a NUMA placement hint to this buffer's pages. Best-effort on
+    /// every backend and a no-op unless `--numa`/`ET_NUMA=1` placement is
+    /// active on a multi-node machine.
+    pub fn place(&self, placement: Placement) {
+        match placement {
+            Placement::Interleave => crate::numa::interleave_region(self.as_slice()),
+            // First-touch is the kernel's default policy: pages land on the
+            // node of the worker that writes them first, which the pinned
+            // node-affine shards already arrange. Nothing to do eagerly.
+            Placement::FirstTouch => {}
+        }
+    }
+}
+
+/// NUMA placement hint for a large shared array (see [`Buf::place`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Spread pages round-robin across nodes (`mbind(MPOL_INTERLEAVE)`), so
+    /// arrays read by every worker (CSR offsets/neighbors, support slab)
+    /// don't all live on one socket.
+    #[default]
+    Interleave,
+    /// Leave pages where first touch puts them — right for shard-private
+    /// data written by pinned workers.
+    FirstTouch,
 }
 
 impl<T: Pod> Deref for Buf<T> {
@@ -573,6 +671,38 @@ mod tests {
         assert_eq!(Backend::default(), Backend::Owned);
         assert!(Backend::Mapped.is_mapped());
         assert_eq!(Backend::Mapped.to_string(), "mapped");
+    }
+
+    #[test]
+    fn advise_and_place_are_safe_on_every_backend() {
+        let owned: Buf<u32> = vec![1, 2, 3].into();
+        owned.advise(Advice::Sequential);
+        owned.advise(Advice::WillNeed);
+        owned.place(Placement::Interleave);
+        owned.place(Placement::FirstTouch);
+        assert_eq!(owned, vec![1, 2, 3]);
+        if !Mmap::supported() {
+            return;
+        }
+        let words: Vec<u32> = (0..4096).collect();
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let path = temp_file(&bytes);
+        let map = Mmap::map_path(&path).unwrap();
+        map.advise(Advice::Sequential);
+        map.advise_region(Advice::WillNeed, 128, 1024);
+        // Clamping: regions past EOF must not touch unmapped pages.
+        map.advise_region(Advice::WillNeed, map.len() + 10, 50);
+        map.advise_region(Advice::Sequential, 0, usize::MAX);
+        let view = MappedSlice::<u32>::new(Arc::clone(&map), 64, 1000).unwrap();
+        view.advise(Advice::WillNeed);
+        let buf: Buf<u32> = view.into();
+        buf.advise(Advice::Sequential);
+        buf.place(Placement::Interleave);
+        assert_eq!(buf.as_slice(), &words[16..1016]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

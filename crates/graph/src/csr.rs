@@ -73,6 +73,20 @@ impl CsrGraph {
         }
     }
 
+    /// Forwards an access-pattern hint to both adjacency arrays (no-op on
+    /// owned storage; `madvise` on mapped views).
+    pub fn advise(&self, advice: crate::buf::Advice) {
+        self.offsets.advise(advice);
+        self.neighbors.advise(advice);
+    }
+
+    /// Applies a NUMA placement hint to both adjacency arrays (best-effort;
+    /// see [`Buf::place`]).
+    pub fn place(&self, placement: crate::buf::Placement) {
+        self.offsets.place(placement);
+        self.neighbors.place(placement);
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -518,6 +518,9 @@ fn read_binary_mapped(path: &Path) -> Result<CsrGraph, GraphError> {
     // The header is validated against the real file length *before* any
     // typed view is built, so views never extend past EOF (no SIGBUS).
     let map = Mmap::map(&file, file_len as usize).map(std::sync::Arc::new)?;
+    // Header parse + structural validation stream the file front-to-back
+    // exactly once: tell the kernel so readahead runs ahead of the scan.
+    map.advise(crate::buf::Advice::Sequential);
     let header: &[u8; 24] = map.bytes()[..24].try_into().expect("24 bytes");
     let h = parse_binary_header(header, file_len)?;
     let (n, arcs) = (h.num_vertices as usize, h.num_arcs as usize);

@@ -1,0 +1,392 @@
+//! NUMA topology detection and worker/memory placement.
+//!
+//! Large-graph support and peel phases are bound by memory traffic, not
+//! instruction count; on multi-socket machines a task that lands on the
+//! wrong socket pays ~2x latency for every CSR access. This module gives the
+//! scheduler the three placement primitives it needs:
+//!
+//! * **Topology detection** ([`NumaTopology::detect`]) from
+//!   `/sys/devices/system/node/node*/cpulist`, degrading to a single node
+//!   holding every CPU when sysfs is absent (non-Linux, containers) or the
+//!   machine really has one node.
+//! * **Worker pinning** ([`pin_rayon_workers`]): rayon worker `w` is bound
+//!   to the cpuset of node `w % nodes` via `sched_setaffinity`, so the
+//!   worker→node map is a pure function both the scheduler
+//!   ([`crate::steal`]) and first-touch page placement can rely on.
+//! * **Memory placement hints** ([`interleave_region`]): `mbind` with
+//!   `MPOL_INTERLEAVE` spreads a shared array's pages round-robin across
+//!   nodes so no socket owns all of it; first-touch placement falls out of
+//!   pinned workers filling node-affine shards and needs no syscall.
+//!
+//! Everything is opt-in behind `ET_NUMA=1` / `--numa`
+//! ([`init_numa_from_env`], [`set_numa_enabled`]) and every syscall failure
+//! is ignored: placement is a performance hint, never a correctness
+//! dependency, and results are bit-identical with the toggle on or off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// One NUMA node: its sysfs id and the CPUs it owns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumaNode {
+    /// Node id (the `N` of `/sys/devices/system/node/nodeN`).
+    pub id: usize,
+    /// CPU ids local to this node, ascending.
+    pub cpus: Vec<usize>,
+}
+
+/// The machine's NUMA layout: one or more nodes with disjoint cpusets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumaTopology {
+    /// Nodes in ascending id order; never empty.
+    pub nodes: Vec<NumaNode>,
+}
+
+impl NumaTopology {
+    /// Detects the topology from sysfs, falling back to a single node
+    /// spanning every CPU when the node directory is missing or malformed.
+    pub fn detect() -> Self {
+        Self::from_sysfs(std::path::Path::new("/sys/devices/system/node"))
+            .unwrap_or_else(Self::single_node)
+    }
+
+    /// Parses `root/node*/cpulist`. Returns `None` when no node directory
+    /// with a readable, non-empty cpulist exists (the caller falls back).
+    pub fn from_sysfs(root: &std::path::Path) -> Option<Self> {
+        let entries = std::fs::read_dir(root).ok()?;
+        let mut nodes = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let Some(id) = name
+                .strip_prefix("node")
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let cpulist = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
+            let cpus = parse_cpulist(cpulist.trim());
+            if !cpus.is_empty() {
+                nodes.push(NumaNode { id, cpus });
+            }
+        }
+        nodes.sort_by_key(|n| n.id);
+        if nodes.is_empty() {
+            None
+        } else {
+            Some(NumaTopology { nodes })
+        }
+    }
+
+    /// The degenerate single-node topology: node 0 owns every CPU the
+    /// process can use.
+    pub fn single_node() -> Self {
+        let cpus = (0..std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1))
+            .collect();
+        NumaTopology {
+            nodes: vec![NumaNode { id: 0, cpus }],
+        }
+    }
+
+    /// Number of nodes (≥ 1).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Parses a sysfs cpulist (`"0-3,8,10-11"`) into ascending CPU ids.
+/// Malformed fields are skipped rather than failing the whole list.
+pub fn parse_cpulist(s: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for field in s.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = field.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi && hi - lo < 4096 {
+                    cpus.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(cpu) = field.parse::<usize>() {
+            cpus.push(cpu);
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    cpus
+}
+
+static NUMA_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether NUMA-aware placement is active (off by default).
+#[inline]
+pub fn numa_enabled() -> bool {
+    NUMA_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns NUMA-aware placement on or off at runtime.
+pub fn set_numa_enabled(enabled: bool) {
+    NUMA_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Enables NUMA placement when `ET_NUMA=1` (or `true`) is set.
+pub fn init_numa_from_env() {
+    if let Ok(v) = std::env::var("ET_NUMA") {
+        set_numa_enabled(v == "1" || v.eq_ignore_ascii_case("true"));
+    }
+}
+
+/// The detected topology, cached for the process lifetime.
+pub fn topology() -> &'static NumaTopology {
+    static TOPOLOGY: OnceLock<NumaTopology> = OnceLock::new();
+    TOPOLOGY.get_or_init(NumaTopology::detect)
+}
+
+/// Number of placement nodes the scheduler should shard over: the detected
+/// node count when NUMA placement is enabled, 1 otherwise.
+pub fn placement_nodes() -> usize {
+    if numa_enabled() {
+        topology().num_nodes()
+    } else {
+        1
+    }
+}
+
+/// The node a rayon worker is affine to: round-robin `worker % nodes`. The
+/// same function maps shards to nodes in [`crate::steal`], so a worker's own
+/// shard is always node-local.
+#[inline]
+pub fn node_of_worker(worker: usize, nodes: usize) -> usize {
+    if nodes <= 1 {
+        0
+    } else {
+        worker % nodes
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::ffi::{c_int, c_long, c_void};
+
+    // Declared directly instead of through a crate (matching
+    // `crate::buf::sys`): libc is always linked into std on unix, and only
+    // these symbols are needed. `mbind` has no glibc wrapper, so it goes
+    // through the variadic `syscall` entry point.
+    extern "C" {
+        pub fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
+        pub fn syscall(num: c_long, ...) -> c_long;
+    }
+
+    /// `__NR_mbind` on the 64-bit Linux ABIs this repo targets.
+    #[cfg(target_arch = "x86_64")]
+    pub const NR_MBIND: c_long = 237;
+    #[cfg(target_arch = "aarch64")]
+    pub const NR_MBIND: c_long = 235;
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    pub const NR_MBIND: c_long = -1;
+
+    pub const MPOL_INTERLEAVE: c_long = 3;
+
+    /// 1024-bit cpu mask, the glibc `cpu_set_t` layout.
+    pub type CpuSet = [u64; 16];
+
+    pub fn cpu_set(cpus: &[usize]) -> CpuSet {
+        let mut set: CpuSet = [0; 16];
+        for &cpu in cpus {
+            if cpu < 1024 {
+                set[cpu / 64] |= 1 << (cpu % 64);
+            }
+        }
+        set
+    }
+
+    /// Best-effort interleave of `[addr, addr+len)` across all nodes.
+    pub fn mbind_interleave(addr: *mut c_void, len: usize, max_node: usize) {
+        if NR_MBIND < 0 || len == 0 {
+            return;
+        }
+        // All-ones node mask over the detected nodes; maxnode counts bits.
+        let nodemask: u64 = if max_node >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (max_node + 1)) - 1
+        };
+        unsafe {
+            // mbind(addr, len, MPOL_INTERLEAVE, &nodemask, maxnode, 0);
+            // failure (EPERM in containers, misaligned addr) is ignored —
+            // pages simply stay wherever first touch put them.
+            syscall(
+                NR_MBIND,
+                addr,
+                len,
+                MPOL_INTERLEAVE,
+                &nodemask as *const u64,
+                64usize,
+                0usize,
+            );
+        }
+    }
+}
+
+/// Pins every rayon worker of the current pool to its node's cpuset
+/// (`worker % nodes`), so node-affine shards and first-touch pages stay
+/// local. Returns the number of nodes workers were spread over (1 when
+/// placement is disabled, the topology is single-node, or pinning is
+/// unsupported on this target).
+///
+/// Best-effort: a failed `sched_setaffinity` (restricted container, cpuset
+/// cgroup) leaves that worker where the OS put it.
+pub fn pin_rayon_workers() -> usize {
+    let nodes = placement_nodes();
+    if nodes <= 1 {
+        return 1;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        use rayon::prelude::*;
+        let topo = topology();
+        let workers = rayon::current_num_threads();
+        let barrier = std::sync::Barrier::new(workers);
+        // One task per worker, all meeting at a barrier so every pool
+        // thread runs (at least) one of them. Pinning keys off the actual
+        // thread index, so a thread that happens to run two tasks just
+        // repeats the same mask.
+        (0..workers).into_par_iter().for_each(|_| {
+            if let Some(w) = rayon::current_thread_index() {
+                let node = &topo.nodes[node_of_worker(w, nodes)];
+                let mask = sys::cpu_set(&node.cpus);
+                unsafe {
+                    sys::sched_setaffinity(0, std::mem::size_of::<sys::CpuSet>(), mask.as_ptr());
+                }
+            }
+            barrier.wait();
+        });
+    }
+    et_obs::counter_add("sched.numa_nodes", nodes as u64);
+    nodes
+}
+
+/// Asks the kernel to interleave the pages of `region` across all NUMA
+/// nodes (`mbind(MPOL_INTERLEAVE)`). No-op when placement is disabled, the
+/// machine is single-node, or the target has no mbind; failures are
+/// silently ignored (placement is a hint).
+pub fn interleave_region<T>(region: &[T]) {
+    let nodes = placement_nodes();
+    if nodes <= 1 || region.is_empty() {
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let bytes = std::mem::size_of_val(region);
+        // mbind wants page-aligned addresses: round the start up and the
+        // length down to page boundaries; a sub-page array is left alone.
+        let page = 4096usize;
+        let start = region.as_ptr() as usize;
+        let aligned = start.next_multiple_of(page);
+        let skipped = aligned - start;
+        if bytes > skipped {
+            let len = (bytes - skipped) / page * page;
+            let max_node = topology().nodes.last().map(|n| n.id).unwrap_or(0);
+            sys::mbind_interleave(aligned as *mut std::ffi::c_void, len, max_node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parsing() {
+        assert_eq!(parse_cpulist("0"), vec![0]);
+        assert_eq!(parse_cpulist("0-3"), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0-2,8,10-11"), vec![0, 1, 2, 8, 10, 11]);
+        assert_eq!(parse_cpulist(" 4 , 1-2 "), vec![1, 2, 4]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        // Malformed fields are skipped, valid ones kept.
+        assert_eq!(parse_cpulist("x,3,9-7,1-x"), vec![3]);
+        // Duplicates collapse.
+        assert_eq!(parse_cpulist("1,1,0-1"), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_node_fallback_covers_all_cpus() {
+        let t = NumaTopology::single_node();
+        assert_eq!(t.num_nodes(), 1);
+        assert!(!t.nodes[0].cpus.is_empty());
+        assert_eq!(t.nodes[0].id, 0);
+    }
+
+    #[test]
+    fn detect_never_returns_empty() {
+        let t = NumaTopology::detect();
+        assert!(t.num_nodes() >= 1);
+        for n in &t.nodes {
+            assert!(!n.cpus.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_sysfs_parses_a_fake_tree() {
+        let dir = std::env::temp_dir().join(format!("et-numa-test-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("node0")).unwrap();
+        std::fs::create_dir_all(dir.join("node1")).unwrap();
+        std::fs::create_dir_all(dir.join("power")).unwrap(); // non-node noise
+        std::fs::write(dir.join("node0/cpulist"), "0-1\n").unwrap();
+        std::fs::write(dir.join("node1/cpulist"), "2-3\n").unwrap();
+        let t = NumaTopology::from_sysfs(&dir).unwrap();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.nodes[0].cpus, vec![0, 1]);
+        assert_eq!(t.nodes[1].cpus, vec![2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_sysfs_missing_dir_is_none() {
+        assert!(
+            NumaTopology::from_sysfs(std::path::Path::new("/definitely/not/a/sysfs/tree"))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn worker_node_mapping_round_robins() {
+        assert_eq!(node_of_worker(0, 1), 0);
+        assert_eq!(node_of_worker(5, 1), 0);
+        assert_eq!(node_of_worker(0, 2), 0);
+        assert_eq!(node_of_worker(1, 2), 1);
+        assert_eq!(node_of_worker(2, 2), 0);
+        assert_eq!(node_of_worker(7, 4), 3);
+    }
+
+    #[test]
+    fn placement_disabled_means_one_node() {
+        // The global default is off; placement_nodes must then be 1 even on
+        // real multi-node hardware.
+        if !numa_enabled() {
+            assert_eq!(placement_nodes(), 1);
+        }
+    }
+
+    #[test]
+    fn interleave_hint_is_safe_everywhere() {
+        // Must be a silent no-op on any machine/any state (single node,
+        // placement off, container without CAP_SYS_NICE).
+        interleave_region::<u64>(&[]);
+        let v = vec![0u8; 3];
+        interleave_region(&v);
+        let big = vec![7u32; 1 << 16];
+        interleave_region(&big);
+        assert_eq!(big[12345], 7);
+    }
+
+    #[test]
+    fn pinning_is_safe_when_disabled() {
+        assert_eq!(pin_rayon_workers(), 1);
+    }
+}

@@ -82,6 +82,16 @@ pub fn default_tasks_per_thread(n: usize, per_thread: usize) -> usize {
     (rayon::current_num_threads() * per_thread).clamp(1, n.max(1))
 }
 
+/// Work-quantile tasks grouped into one shard per pool worker, ready for
+/// [`crate::steal::execute`]. Consecutive tasks go to the same shard, so each
+/// shard owns a contiguous index region — under `--numa` with pinned workers
+/// that region is first-touched by (and stays local to) one node.
+pub fn sharded_ranges_from_work(work: &[u64], per_thread: usize) -> Vec<Vec<Range<usize>>> {
+    let workers = rayon::current_num_threads().max(1);
+    let tasks = ranges_from_work(work, default_tasks_per_thread(work.len(), per_thread));
+    crate::steal::shard_tasks(tasks, workers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +179,55 @@ mod tests {
         let ranges = ranges_from_work(&[5, 5], 16);
         check_cover(&ranges, 2);
         assert!(ranges.len() <= 2);
+    }
+
+    #[test]
+    fn all_zero_work_with_more_tasks_than_items() {
+        // Degenerate combination: nothing to balance on AND tasks > items.
+        // Must still cover exactly, one item per task at most.
+        let ranges = ranges_from_work(&[0, 0, 0], 100);
+        check_cover(&ranges, 3);
+        for r in &ranges {
+            assert_eq!(r.len(), 1);
+        }
+    }
+
+    #[test]
+    fn huge_item_at_every_position() {
+        // One item carrying ~all the work must never break coverage or
+        // produce an empty range, wherever it sits.
+        for pos in [0usize, 1, 31, 62, 63] {
+            let mut work = vec![1u64; 64];
+            work[pos] = u64::from(u32::MAX);
+            let ranges = ranges_from_work(&work, 8);
+            check_cover(&ranges, 64);
+            // Every task that does NOT hold the hub stays within one
+            // quantile of small work (the hub's own task may absorb the
+            // small items on its side of the cut — contiguity demands it).
+            let total: u64 = work.iter().sum();
+            for r in ranges.iter().filter(|r| !r.contains(&pos)) {
+                let w: u64 = work[(*r).clone()].iter().sum();
+                assert!(w <= total / 8 + 1, "task {r:?} overloaded at pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_with_huge_work() {
+        assert_eq!(ranges_from_work(&[u64::MAX / 2], 8), vec![0..1]);
+    }
+
+    #[test]
+    fn zero_tasks_treated_as_one() {
+        assert_eq!(ranges_from_work(&[1, 2, 3], 0), vec![0..3]);
+    }
+
+    #[test]
+    fn sharded_ranges_cover_and_shard_count_matches_pool() {
+        let work: Vec<u64> = (0..300).map(|i| (i % 11) as u64).collect();
+        let shards = sharded_ranges_from_work(&work, 4);
+        assert_eq!(shards.len(), rayon::current_num_threads().max(1));
+        let flat: Vec<Range<usize>> = shards.into_iter().flatten().collect();
+        check_cover(&flat, 300);
     }
 }

@@ -22,8 +22,9 @@
 //! distributions where fixed-size chunks idle the pool.
 
 use crate::intersect::intersect_matches;
-use et_graph::{schedule, EdgeIndexedGraph, OrientedGraph};
+use et_graph::{numa, schedule, steal, Advice, EdgeIndexedGraph, OrientedGraph};
 use rayon::prelude::*;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Tasks per worker for the arc wave.
@@ -60,6 +61,9 @@ fn arc_work(oriented: &OrientedGraph) -> Vec<u64> {
 /// enumeration. Builds the DAG view internally; use
 /// [`compute_support_with_oriented`] to amortize a prebuilt view.
 pub fn compute_support_oriented(graph: &EdgeIndexedGraph) -> Vec<u32> {
+    // The orientation pass streams every CSR row once; on a mapped backend,
+    // start faulting those pages in before the build touches them.
+    graph.graph().advise(Advice::WillNeed);
     let oriented = OrientedGraph::build(graph);
     compute_support_with_oriented(graph, &oriented)
 }
@@ -74,6 +78,9 @@ pub fn compute_support_with_oriented(
 ) -> Vec<u32> {
     let m = graph.num_edges();
     let support: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+    // Every worker scatters into the support slab; spread its pages across
+    // nodes instead of leaving them all on the allocating socket.
+    numa::interleave_region(&support);
     let num_arcs = oriented.num_arcs();
     let work = arc_work(oriented);
     let tasks = schedule::ranges_from_work(
@@ -83,7 +90,7 @@ pub fn compute_support_with_oriented(
     let tracing = et_obs::enabled();
     let wave = et_obs::wave("SupportChunks");
 
-    tasks.into_par_iter().for_each(|range| {
+    let run_range = |range: Range<usize>| {
         let _task = wave.task();
         let (lo, hi) = (range.start, range.end);
         let offsets = oriented.offsets();
@@ -122,7 +129,17 @@ pub fn compute_support_with_oriented(
             et_obs::counter_add("support.oriented_triangles", triangles);
             et_obs::counter_add("support.chunks", 1);
         }
-    });
+    };
+
+    // The scatter commutes (relaxed atomic adds), so ranges may run on any
+    // worker in any order: with stealing on, node-affine shards absorb
+    // work-estimate error; with it off, the plain work-quantile wave runs.
+    if steal::stealing_enabled() {
+        let shards = steal::shard_tasks(tasks, rayon::current_num_threads().max(1));
+        steal::execute(shards, || (), |_, r| run_range(r));
+    } else {
+        tasks.into_par_iter().for_each(run_range);
+    }
 
     support.into_iter().map(AtomicU32::into_inner).collect()
 }

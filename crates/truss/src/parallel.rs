@@ -27,7 +27,7 @@
 //! decrement).
 
 use crate::TrussDecomposition;
-use et_graph::{schedule, EdgeId, EdgeIndexedGraph};
+use et_graph::{numa, schedule, steal, EdgeId, EdgeIndexedGraph};
 use et_triangle::{compute_support_oriented, for_each_triangle_of_edge};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
@@ -97,6 +97,11 @@ pub fn decompose_parallel_with_support(
     let support: Vec<AtomicU32> = support.into_iter().map(AtomicU32::new).collect();
     let state: Vec<AtomicU8> = (0..m).map(|_| AtomicU8::new(0)).collect();
     let trussness: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+    // Every peel round hammers these three slabs from all workers; under
+    // --numa, interleave their pages instead of leaving them on one socket.
+    numa::interleave_region(&support);
+    numa::interleave_region(&state);
+    numa::interleave_region(&trussness);
 
     let tracing = et_obs::enabled();
     let wave = et_obs::wave("PeelFrontier");
@@ -166,59 +171,59 @@ pub fn decompose_parallel_with_support(
                     },
                 )
             };
-            let parts: Vec<(Vec<EdgeId>, Vec<EdgeId>)> = tasks
-                .into_par_iter()
-                .map(|job| {
-                    let _task = wave.task();
-                    let mut acc = (Vec::new(), Vec::new());
-                    for &e in &frontier[job] {
-                        for_each_triangle_of_edge(graph, e, |_, e1, e2| {
-                            let (i1, i2) = (e1 as usize, e2 as usize);
-                            let s1 = state[i1].load(Ordering::Relaxed);
-                            let s2 = state[i2].load(Ordering::Relaxed);
-                            if (s1 | s2) & PROCESSED != 0 {
-                                return;
-                            }
-                            let c1 = s1 & IN_CUR != 0;
-                            let c2 = s2 & IN_CUR != 0;
-                            match (c1, c2) {
-                                (true, true) => {} // whole triangle peels together
-                                (true, false) => {
-                                    // e and e1 peel; exactly one of them (the
-                                    // smaller id) decrements e2.
-                                    if e < e1 {
-                                        decrement(
-                                            &support[i2],
-                                            &state[i2],
-                                            s2,
-                                            level,
-                                            e2,
-                                            &mut acc,
-                                        );
-                                    }
-                                }
-                                (false, true) => {
-                                    if e < e2 {
-                                        decrement(
-                                            &support[i1],
-                                            &state[i1],
-                                            s1,
-                                            level,
-                                            e1,
-                                            &mut acc,
-                                        );
-                                    }
-                                }
-                                (false, false) => {
-                                    decrement(&support[i1], &state[i1], s1, level, e1, &mut acc);
-                                    decrement(&support[i2], &state[i2], s2, level, e2, &mut acc);
+            let process = |acc: &mut (Vec<EdgeId>, Vec<EdgeId>), job: std::ops::Range<usize>| {
+                let _task = wave.task();
+                for &e in &frontier[job] {
+                    for_each_triangle_of_edge(graph, e, |_, e1, e2| {
+                        let (i1, i2) = (e1 as usize, e2 as usize);
+                        let s1 = state[i1].load(Ordering::Relaxed);
+                        let s2 = state[i2].load(Ordering::Relaxed);
+                        if (s1 | s2) & PROCESSED != 0 {
+                            return;
+                        }
+                        let c1 = s1 & IN_CUR != 0;
+                        let c2 = s2 & IN_CUR != 0;
+                        match (c1, c2) {
+                            (true, true) => {} // whole triangle peels together
+                            (true, false) => {
+                                // e and e1 peel; exactly one of them (the
+                                // smaller id) decrements e2.
+                                if e < e1 {
+                                    decrement(&support[i2], &state[i2], s2, level, e2, acc);
                                 }
                             }
-                        });
-                    }
-                    acc
-                })
-                .collect();
+                            (false, true) => {
+                                if e < e2 {
+                                    decrement(&support[i1], &state[i1], s1, level, e1, acc);
+                                }
+                            }
+                            (false, false) => {
+                                decrement(&support[i1], &state[i1], s1, level, e1, acc);
+                                decrement(&support[i2], &state[i2], s2, level, e2, acc);
+                            }
+                        }
+                    });
+                }
+            };
+            // The per-task accumulators are merged as *sets* (dedup'd by the
+            // floor CAS / MOVED bit), so which worker runs which range never
+            // changes the outcome — safe to hand to the stealing scheduler
+            // when a round is big enough to be worth rebalancing.
+            let parts: Vec<(Vec<EdgeId>, Vec<EdgeId>)> =
+                if steal::stealing_enabled() && tasks.len() > 1 {
+                    let shards = steal::shard_tasks(tasks, rayon::current_num_threads().max(1));
+                    let (accs, _) = steal::execute(shards, Default::default, process);
+                    accs
+                } else {
+                    tasks
+                        .into_par_iter()
+                        .map(|job| {
+                            let mut acc = (Vec::new(), Vec::new());
+                            process(&mut acc, job);
+                            acc
+                        })
+                        .collect()
+                };
 
             // Retire the round.
             frontier.par_iter().for_each(|&e| {
