@@ -1,11 +1,13 @@
 //! Bench regression gate CLI: diffs the current smoke artifacts
-//! (`BENCH_support/index/query/ingest.json`) against a committed combined
-//! baseline (`BASELINE_bench.json`) and prints a per-metric delta table.
+//! (`BENCH_support/index/query/ingest/serve.json`) against a committed
+//! combined baseline (`BASELINE_bench.json`) and prints a per-metric delta
+//! table.
 //!
 //! Usage:
 //!   bench_report [--baseline PATH] [--threshold PCT] [--strict]
 //!                [--allow-meta-mismatch] [--write-baseline PATH]
 //!                [--support PATH] [--index PATH] [--query PATH] [--ingest PATH]
+//!                [--serve PATH]
 //!
 //! Exit codes: `0` — no regression (or regressions found but `--strict` not
 //! set: warn-only, the CI default while baselines season); `1` — at least
@@ -17,12 +19,13 @@ use et_bench::gate;
 use serde_json::{Map, Value};
 use std::process::ExitCode;
 
-/// The four smoke artifacts, as `(combined-doc key, default path)`.
-const SECTIONS: [(&str, &str); 4] = [
+/// The smoke artifacts, as `(combined-doc key, default path)`.
+const SECTIONS: [(&str, &str); 5] = [
     ("support", "BENCH_support.json"),
     ("index", "BENCH_index.json"),
     ("query", "BENCH_query.json"),
     ("ingest", "BENCH_ingest.json"),
+    ("serve", "BENCH_serve.json"),
 ];
 
 struct Args {
@@ -59,7 +62,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--strict" => args.strict = true,
             "--allow-meta-mismatch" => args.allow_meta_mismatch = true,
-            "--support" | "--index" | "--query" | "--ingest" => {
+            "--support" | "--index" | "--query" | "--ingest" | "--serve" => {
                 let key = &arg[2..];
                 let path = value_of(&arg)?;
                 for slot in &mut args.section_paths {

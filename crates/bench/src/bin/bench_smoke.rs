@@ -307,7 +307,9 @@ fn main() {
     et_obs::init_from_env();
     et_obs::init_mem_from_env();
     et_graph::numa::init_numa_from_env();
-    et_graph::steal::init_stealing_from_env();
+    et_graph::steal::set_stealing_enabled(et_cli::resolve_toggle_with_default(
+        "steal", None, "ET_STEAL", true,
+    ));
     if et_graph::numa::numa_enabled() {
         et_graph::numa::pin_rayon_workers();
     }

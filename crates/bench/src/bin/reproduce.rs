@@ -34,7 +34,8 @@ fn usage() -> ! {
          \u{20}                  (same as ET_NUMA=1; the flag wins on conflict)\n\
          --trace-out FILE  record spans + counters across all experiments and write\n\
          \u{20}                  chrome://tracing JSON to FILE (also enabled by ET_TRACE=1)\n\
-         ET_STEAL=0        disable the work-stealing scheduler (default on)\n\
+         --steal/--no-steal  force the work-stealing scheduler on or off\n\
+         ET_STEAL=0        same as --no-steal, via the environment (default on)\n\
          ET_MEM=1          attribute allocation deltas + peaks to pipeline phases",
         ALL_EXPERIMENTS.join(" ")
     );
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
     let mut wanted: Vec<String> = Vec::new();
     let mut cli_mmap: Option<bool> = None;
     let mut cli_numa: Option<bool> = None;
+    let mut cli_steal: Option<bool> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -78,6 +80,8 @@ fn main() -> ExitCode {
             }
             "--mmap" => cli_mmap = Some(true),
             "--numa" => cli_numa = Some(true),
+            "--steal" => cli_steal = Some(true),
+            "--no-steal" => cli_steal = Some(false),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             exp => wanted.push(exp.to_string()),
@@ -109,7 +113,9 @@ fn main() -> ExitCode {
         std::env::set_var("ET_MMAP", "1");
     }
     et_graph::numa::set_numa_enabled(et_cli::resolve_toggle("numa", cli_numa, "ET_NUMA"));
-    et_graph::steal::init_stealing_from_env();
+    et_graph::steal::set_stealing_enabled(et_cli::resolve_toggle_with_default(
+        "steal", cli_steal, "ET_STEAL", true,
+    ));
     if et_graph::numa::numa_enabled() {
         et_graph::numa::pin_rayon_workers();
     }

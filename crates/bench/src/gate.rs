@@ -2,9 +2,9 @@
 //! against a committed baseline and flags per-metric regressions.
 //!
 //! The smoke artifacts (`BENCH_support.json`, `BENCH_index.json`,
-//! `BENCH_query.json`, `BENCH_ingest.json`) are nested JSON documents whose
-//! rows self-identify through id fields (`graph`, `variant`, `schedule`,
-//! `threads`, `k`). [`flatten_metrics`] walks a document and turns every
+//! `BENCH_query.json`, `BENCH_ingest.json`, `BENCH_serve.json`) are nested
+//! JSON documents whose rows self-identify through id fields (`graph`,
+//! `variant`, `schedule`, `threads`, `k`, `connections`, `cache`). [`flatten_metrics`] walks a document and turns every
 //! numeric leaf into a flat `label → value` map whose labels are stable
 //! across runs, so two runs can be diffed metric-by-metric no matter how
 //! rows are ordered.
@@ -53,7 +53,15 @@ pub fn classify(label: &str) -> Direction {
 
 /// Fields that name a row rather than measure it. Their values become part
 /// of the metric label instead of metrics of their own.
-const ID_FIELDS: [&str; 5] = ["graph", "variant", "schedule", "threads", "k"];
+const ID_FIELDS: [&str; 7] = [
+    "graph",
+    "variant",
+    "schedule",
+    "threads",
+    "k",
+    "connections",
+    "cache",
+];
 
 fn id_suffix(obj: &serde_json::Map<String, Value>) -> String {
     let mut parts = Vec::new();
@@ -309,6 +317,47 @@ mod tests {
         assert_eq!(classify("peel_speedup"), Direction::HigherIsBetter);
         assert_eq!(classify("reps"), Direction::Informational);
         assert_eq!(classify("rmat/edges"), Direction::Informational);
+    }
+
+    #[test]
+    fn serve_columns_classify_by_direction_suffix() {
+        // The serve artifact's latency/throughput columns must gate in the
+        // right direction straight from their suffixes.
+        assert_eq!(
+            classify("rmat-s13/c16/cache-on/serve_p99_us"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("rmat-s13/c16/cache-on/serve_p50_us"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("rmat-s13/c1/cache-off/serve_qps"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("rmat-s13/c4/cache-on/requests"),
+            Direction::Informational
+        );
+    }
+
+    #[test]
+    fn serve_rows_label_by_connections_and_cache() {
+        let doc = json!({
+            "benchmark": "serve",
+            "meta": {"threads": 4},
+            "results": [
+                {"graph": "rmat-s13", "connections": 16, "cache": "cache-on",
+                 "serve_qps": 50_000.0, "serve_p99_us": 900.0, "requests": 1000},
+                {"graph": "rmat-s13", "connections": 1, "cache": "cache-off",
+                 "serve_qps": 8_000.0, "serve_p99_us": 150.0, "requests": 500},
+            ],
+        });
+        let m = flatten_metrics(&doc);
+        assert_eq!(m["rmat-s13/c16/cache-on/serve_qps"], 50_000.0);
+        assert_eq!(m["rmat-s13/c16/cache-on/serve_p99_us"], 900.0);
+        assert_eq!(m["rmat-s13/c1/cache-off/serve_qps"], 8_000.0);
+        assert_eq!(m["rmat-s13/c1/cache-off/requests"], 500.0);
     }
 
     #[test]

@@ -161,3 +161,99 @@ fn missing_artifacts_are_a_usage_error() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("bench_smoke"), "{stderr}");
 }
+
+#[test]
+fn missing_baseline_is_a_located_error() {
+    // Artifacts exist but the named baseline does not: exit 2 with the
+    // offending path, the reason, and the recovery hint — not a bare io
+    // error with no file name.
+    let dir = scratch_dir("nobase");
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 4));
+    let out = run(&dir, &["--baseline", "NOT_THERE_baseline.json"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("reading baseline"), "{stderr}");
+    assert!(stderr.contains("NOT_THERE_baseline.json"), "{stderr}");
+    assert!(stderr.contains("--write-baseline"), "{stderr}");
+}
+
+#[test]
+fn malformed_baseline_is_a_located_error() {
+    let dir = scratch_dir("badbase");
+    write(&dir, "BENCH_support.json", &support_doc(10.0, 4));
+    std::fs::write(dir.join("BASELINE_bench.json"), "{\"truncated\": ").expect("write");
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parsing BASELINE_bench.json"), "{stderr}");
+}
+
+/// A minimal but shape-faithful BENCH_serve.json.
+fn serve_doc(qps: f64, p99_us: f64, threads: u64) -> Value {
+    json!({
+        "benchmark": "serve",
+        "meta": {
+            "dataset_suite": "synthetic-smoke-v1",
+            "threads": threads,
+            "quick": true,
+            "git_rev": "0000000000ab",
+            "traced": false,
+            "mem_tracked": false,
+        },
+        "secs_per_cell": 0.5,
+        "results": [{
+            "graph": "rmat-s13",
+            "connections": 16,
+            "cache": "cache-on",
+            "requests": 1000,
+            "errors": 0,
+            "serve_qps": qps,
+            "serve_p50_us": p99_us / 4.0,
+            "serve_p99_us": p99_us,
+        }],
+    })
+}
+
+#[test]
+fn serve_artifact_gates_with_direction_suffixes() {
+    let dir = scratch_dir("serve");
+    write(&dir, "BENCH_serve.json", &serve_doc(50_000.0, 800.0, 4));
+    let out = run(&dir, &["--write-baseline", "BASELINE_bench.json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+
+    // Throughput halved and tail latency doubled: both must be flagged,
+    // under their connections/cache row labels.
+    write(&dir, "BENCH_serve.json", &serve_doc(25_000.0, 1_600.0, 4));
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json", "--strict"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("c16/cache-on/serve_qps"), "{stdout}");
+    assert!(stdout.contains("c16/cache-on/serve_p99_us"), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // An *improvement* in both directions passes strict.
+    write(&dir, "BENCH_serve.json", &serve_doc(80_000.0, 400.0, 4));
+    let out = run(&dir, &["--baseline", "BASELINE_bench.json", "--strict"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn serve_section_path_flag_is_accepted() {
+    let dir = scratch_dir("servepath");
+    write(&dir, "custom_serve.json", &serve_doc(50_000.0, 800.0, 4));
+    let out = run(
+        &dir,
+        &[
+            "--serve",
+            "custom_serve.json",
+            "--write-baseline",
+            "BASELINE_bench.json",
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let baseline: Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("BASELINE_bench.json")).expect("baseline"),
+    )
+    .expect("parses");
+    assert!(baseline.get("serve").is_some(), "{baseline}");
+}

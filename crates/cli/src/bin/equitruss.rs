@@ -3,6 +3,7 @@
 use et_cli::{
     cmd_build, cmd_generate, cmd_info, cmd_query, cmd_query_batch, cmd_stats, parse_engine,
     parse_support_kernel, parse_variant, resolve_support_kernel, resolve_toggle,
+    resolve_toggle_with_default,
 };
 use et_graph::Backend;
 use std::path::PathBuf;
@@ -17,13 +18,19 @@ fn usage() -> ! {
          equitruss build <graph> -o <index.etidx> [--variant baseline|coptimal|afforest]\n  \
          \x20               [--support-kernel oriented|merge|cover-edge|auto]\n  \
          equitruss query <graph> <index.etidx> -v <vertex> -k <level> [--engine hierarchy|bfs]\n  \
-         equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n\n\
+         equitruss query <graph> <index.etidx> --batch <file> [--engine hierarchy|bfs]\n  \
+         equitruss serve <graph> <index.etidx> [--addr HOST:PORT] [--workers N]\n  \
+         \x20               [--cache|--no-cache] [--cache-size N]\n\n\
+         serve: HTTP/JSON query service (/query /edge /batch /stats /healthz /reload);\n  \
+         \x20      ET_SERVE_ADDR, ET_SERVE_WORKERS, ET_SERVE_CACHE (default on),\n  \
+         \x20      ET_SERVE_CACHE_SIZE are the flags' environment twins\n\n\
          options (any command):\n  \
          --mmap                     memory-map .bin graphs and .etidx indexes (zero-copy)\n  \
          ET_MMAP=1                  same as --mmap, via the environment\n  \
          --numa                     NUMA-aware placement: pin workers to nodes, shard work\n  \
          ET_NUMA=1                  same as --numa, via the environment\n  \
-         ET_STEAL=0                 disable the work-stealing scheduler (default on)\n  \
+         --steal / --no-steal       force the work-stealing scheduler on or off (default on)\n  \
+         ET_STEAL=0                 same as --no-steal, via the environment\n  \
          ET_SUPPORT_KERNEL=<name>   default Support kernel (CLI flag wins, with a warning)\n  \
          --trace-out <trace.json>   record spans + counters, write chrome://tracing JSON\n  \
          ET_TRACE=1                 enable tracing without writing a file\n  \
@@ -34,7 +41,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value (presence alone means \"on\").
-const BOOLEAN_FLAGS: &[&str] = &["mmap", "numa"];
+const BOOLEAN_FLAGS: &[&str] = &["mmap", "numa", "steal", "no-steal", "cache", "no-cache"];
 
 struct Args {
     positional: Vec<String>,
@@ -86,7 +93,18 @@ fn main() -> ExitCode {
     };
     let cli_numa = args.flags.contains_key("numa").then_some(true);
     et_graph::numa::set_numa_enabled(resolve_toggle("numa", cli_numa, "ET_NUMA"));
-    et_graph::steal::init_stealing_from_env();
+    // Stealing is a default-on toggle (ET_STEAL=0 opts out), resolved by the
+    // same CLI-wins-with-warning rules as every other toggle.
+    let cli_steal = if args.flags.contains_key("steal") {
+        Some(true)
+    } else if args.flags.contains_key("no-steal") {
+        Some(false)
+    } else {
+        None
+    };
+    et_graph::steal::set_stealing_enabled(resolve_toggle_with_default(
+        "steal", cli_steal, "ET_STEAL", true,
+    ));
     if et_graph::numa::numa_enabled() {
         et_graph::numa::pin_rayon_workers();
     }
@@ -137,6 +155,60 @@ fn main() -> ExitCode {
                 kernel,
                 backend,
             )
+        }
+        "serve" => {
+            let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();
+            let index = args.positional.get(2).unwrap_or_else(|| usage()).clone();
+            // Each string/number setting falls back to its ET_SERVE_* twin;
+            // the cache toggle is default-on via the shared resolver.
+            let addr = get_flag("addr")
+                .or_else(|| std::env::var("ET_SERVE_ADDR").ok())
+                .unwrap_or_else(|| "127.0.0.1:7474".to_string());
+            let workers: usize = get_flag("workers")
+                .or_else(|| std::env::var("ET_SERVE_WORKERS").ok())
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(16);
+            let cli_cache = if args.flags.contains_key("cache") {
+                Some(true)
+            } else if args.flags.contains_key("no-cache") {
+                Some(false)
+            } else {
+                None
+            };
+            let cache_on = resolve_toggle_with_default("cache", cli_cache, "ET_SERVE_CACHE", true);
+            let cache_size: usize = get_flag("cache-size")
+                .or_else(|| std::env::var("ET_SERVE_CACHE_SIZE").ok())
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(4096);
+            let config = et_serve::ServeConfig { addr, workers };
+            let capacity = if cache_on { cache_size } else { 0 };
+            match et_cli::start_serve(
+                &PathBuf::from(graph),
+                &PathBuf::from(index),
+                &config,
+                capacity,
+                backend,
+            ) {
+                Ok(server) => {
+                    eprintln!(
+                        "serving on http://{} ({} workers, cache {})",
+                        server.local_addr(),
+                        workers,
+                        if cache_on {
+                            format!("{cache_size} entries")
+                        } else {
+                            "off".to_string()
+                        }
+                    );
+                    eprintln!("endpoints: /query /edge /batch /stats /healthz /reload");
+                    server.join();
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         "query" => {
             let graph = args.positional.get(1).unwrap_or_else(|| usage()).clone();

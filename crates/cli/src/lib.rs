@@ -71,11 +71,39 @@ pub fn parse_support_kernel(name: &str) -> Result<SupportKernel, String> {
 /// Resolves a boolean runtime toggle from a CLI flag and its environment
 /// variable. The CLI flag wins; when both are present and disagree, a
 /// warning is printed to stderr naming both settings — env vars must never
-/// silently override an explicit flag (or vice versa).
+/// silently override an explicit flag (or vice versa). Defaults to off when
+/// neither is set; default-on toggles (e.g. `ET_STEAL=0` disables an
+/// otherwise-on scheduler) go through
+/// [`resolve_toggle_with_default`].
 pub fn resolve_toggle(flag_name: &str, cli: Option<bool>, env_var: &str) -> bool {
-    let env = std::env::var(env_var)
-        .ok()
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    resolve_toggle_with_default(flag_name, cli, env_var, false)
+}
+
+/// [`resolve_toggle`] with an explicit default, covering both polarities:
+/// default-off opt-ins (`ET_MMAP=1`) and default-on opt-outs (`ET_STEAL=0`).
+/// Env values are parsed strictly — `1`/`true` enables, `0`/`false`
+/// disables, and anything else is warned about and ignored (previously a
+/// typo like `ET_STEAL=off` silently read as *enabled* for default-on
+/// toggles and *disabled* for default-off ones).
+pub fn resolve_toggle_with_default(
+    flag_name: &str,
+    cli: Option<bool>,
+    env_var: &str,
+    default: bool,
+) -> bool {
+    let env = std::env::var(env_var).ok().and_then(|v| {
+        if v == "1" || v.eq_ignore_ascii_case("true") {
+            Some(true)
+        } else if v == "0" || v.eq_ignore_ascii_case("false") {
+            Some(false)
+        } else {
+            eprintln!(
+                "warning: ignoring {env_var}={v:?}: expected 1/true or 0/false \
+                 (using the default, {flag_name} = {default})"
+            );
+            None
+        }
+    });
     match (cli, env) {
         (Some(c), Some(e)) => {
             if c != e {
@@ -89,7 +117,7 @@ pub fn resolve_toggle(flag_name: &str, cli: Option<bool>, env_var: &str) -> bool
         }
         (Some(c), None) => c,
         (None, Some(e)) => e,
-        (None, None) => false,
+        (None, None) => default,
     }
 }
 
@@ -522,6 +550,35 @@ pub fn cmd_query_batch(
     Ok(out)
 }
 
+/// `serve <graph> <index.etidx> [...]`: starts the HTTP/JSON query service
+/// over an on-disk graph/index pair and returns the running server (bound
+/// and accepting). The caller decides whether to block on it —
+/// `equitruss serve` joins forever, tests stop it.
+///
+/// The pair is remembered as the `/reload` source, so publishing a rebuilt
+/// index is `equitruss build ... && curl -X POST /reload`.
+pub fn start_serve(
+    graph: &Path,
+    index: &Path,
+    config: &et_serve::ServeConfig,
+    cache_capacity: usize,
+    backend: Backend,
+) -> Result<et_serve::Server, String> {
+    let state = et_serve::ServeState::load(graph, index, backend)?;
+    let reload = et_serve::ReloadSpec {
+        graph: graph.to_path_buf(),
+        index: index.to_path_buf(),
+        backend,
+    };
+    let shared = std::sync::Arc::new(et_serve::SharedIndex::new(
+        state,
+        cache_capacity,
+        Some(reload),
+    ));
+    et_serve::Server::start(shared, config)
+        .map_err(|e| format!("cannot serve on {}: {e}", config.addr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,6 +697,111 @@ mod tests {
         assert_eq!(parse_variant("C-Optimal").unwrap(), Variant::COptimal);
         assert_eq!(parse_variant("BASELINE").unwrap(), Variant::Baseline);
         assert!(parse_variant("quantum").is_err());
+    }
+
+    #[test]
+    fn serve_starts_over_a_built_file_pair() {
+        // generate → build → serve: the server must come up over the same
+        // file pair the query commands use, on an ephemeral port.
+        let dir = tmp_dir();
+        let graph = dir.join("serve.txt");
+        let index = dir.join("serve.etidx");
+        cmd_generate("dblp", 1.0 / 64.0, &graph).unwrap();
+        cmd_build(
+            &graph,
+            &index,
+            Variant::Afforest,
+            SupportKernel::default(),
+            Backend::Owned,
+        )
+        .unwrap();
+        let config = et_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+        };
+        let server = start_serve(&graph, &index, &config, 64, Backend::Owned).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.shared().swap().epoch(), 1);
+        server.stop();
+
+        // A mismatched pair is refused with a located error.
+        let other = dir.join("serve-other.txt");
+        cmd_generate("amazon", 1.0 / 64.0, &other).unwrap();
+        let err = start_serve(&other, &index, &config, 0, Backend::Owned)
+            .err()
+            .expect("a mismatched graph/index pair must be refused");
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn toggle_default_off_polarity() {
+        // Unique env var per assertion — tests run in parallel and the
+        // process environment is shared.
+        assert!(!resolve_toggle("t", None, "ET_TEST_TOGGLE_UNSET"));
+        std::env::set_var("ET_TEST_TOGGLE_ON", "1");
+        assert!(resolve_toggle("t", None, "ET_TEST_TOGGLE_ON"));
+        std::env::set_var("ET_TEST_TOGGLE_TRUE", "TRUE");
+        assert!(resolve_toggle("t", None, "ET_TEST_TOGGLE_TRUE"));
+        // CLI wins over a conflicting env setting.
+        assert!(!resolve_toggle("t", Some(false), "ET_TEST_TOGGLE_ON"));
+    }
+
+    #[test]
+    fn toggle_default_on_polarity() {
+        // The ET_STEAL shape: on unless explicitly disabled.
+        assert!(resolve_toggle_with_default(
+            "steal",
+            None,
+            "ET_TEST_STEAL_UNSET",
+            true
+        ));
+        std::env::set_var("ET_TEST_STEAL_OFF", "0");
+        assert!(!resolve_toggle_with_default(
+            "steal",
+            None,
+            "ET_TEST_STEAL_OFF",
+            true
+        ));
+        std::env::set_var("ET_TEST_STEAL_FALSE", "false");
+        assert!(!resolve_toggle_with_default(
+            "steal",
+            None,
+            "ET_TEST_STEAL_FALSE",
+            true
+        ));
+        // CLI wins in both directions.
+        assert!(resolve_toggle_with_default(
+            "steal",
+            Some(true),
+            "ET_TEST_STEAL_OFF",
+            true
+        ));
+        assert!(!resolve_toggle_with_default(
+            "steal",
+            Some(false),
+            "ET_TEST_STEAL_UNSET",
+            true
+        ));
+    }
+
+    #[test]
+    fn toggle_garbage_env_falls_back_to_default() {
+        // A typo like ET_STEAL=off used to read as *enabled* (any value
+        // other than 0/false passed the ad-hoc check); now it is warned
+        // about and ignored, for both polarities.
+        std::env::set_var("ET_TEST_TOGGLE_GARBAGE", "off");
+        assert!(resolve_toggle_with_default(
+            "steal",
+            None,
+            "ET_TEST_TOGGLE_GARBAGE",
+            true
+        ));
+        assert!(!resolve_toggle_with_default(
+            "mmap",
+            None,
+            "ET_TEST_TOGGLE_GARBAGE",
+            false
+        ));
     }
 
     #[test]

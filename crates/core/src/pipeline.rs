@@ -28,6 +28,7 @@ use et_graph::{EdgeId, EdgeIndexedGraph, ShapeStats};
 use et_truss::TrussDecomposition;
 use rayon::prelude::*;
 use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
 
 /// Which parallel construction to run (Table 2 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -220,6 +221,27 @@ pub struct IndexBuild {
     /// Per-kernel wall-clock times.
     pub timings: KernelTimings,
 }
+
+impl IndexBuild {
+    /// Wraps the build in an [`Arc`] for lock-free sharing across query
+    /// threads (the shape `et-serve` snapshots publish). Readers clone the
+    /// `Arc`, never the index.
+    pub fn into_shared(self) -> Arc<IndexBuild> {
+        Arc::new(self)
+    }
+}
+
+// Compile-time proof that the query-side structures are safe to share
+// across threads behind an `Arc` with no locking. If a field ever grows a
+// non-`Sync` interior (`Rc`, `Cell`, an unmarked raw pointer), this stops
+// compiling here instead of failing far downstream in `et-serve`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SuperGraph>();
+    assert_send_sync::<TrussHierarchy>();
+    assert_send_sync::<KernelTimings>();
+    assert_send_sync::<IndexBuild>();
+};
 
 /// Full pipeline: Support → parallel truss decomposition → index
 /// construction with the chosen variant, using the default (oriented,
@@ -457,6 +479,26 @@ mod tests {
                     schedule.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn shared_build_reads_identically_across_threads() {
+        let eg = EdgeIndexedGraph::new(et_gen::overlapping_cliques(100, 20, (3, 6), 40, 7));
+        let build = build_index(&eg, Variant::Afforest);
+        let reference = build.index.canonical();
+        let shared = build.into_shared();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let reference = reference.clone();
+                std::thread::spawn(move || {
+                    assert_eq!(shared.index.canonical(), reference);
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().expect("reader thread");
         }
     }
 

@@ -1,6 +1,64 @@
 //! Adjacency-list graph with stable, recycled edge ids.
 
 use et_graph::{CsrGraph, EdgeId, EdgeIndexedGraph, GraphBuilder, VertexId};
+use std::fmt;
+
+/// The u32 id space is exhausted: assigning one more vertex or edge id
+/// would collide with the reserved `u32::MAX` sentinel or wrap around.
+///
+/// Returned by the checked mutators ([`DynamicGraph::try_insert_edge`],
+/// [`DynamicGraph::try_ensure_vertices`]); the unchecked variants panic
+/// with this error's message instead of silently truncating the id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    kind: &'static str,
+    requested: usize,
+}
+
+impl CapacityError {
+    /// Which id space overflowed: `"edge"` or `"vertex"`.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} id space exhausted: id {} does not fit in u32 \
+             (u32::MAX is reserved as a sentinel)",
+            self.kind, self.requested
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// The next fresh edge id for a graph with `capacity` id slots, or an error
+/// if it would reach the `u32::MAX` sentinel. Checked *before* any slot is
+/// allocated, so the boundary is exact.
+fn next_edge_id(capacity: usize) -> Result<EdgeId, CapacityError> {
+    if capacity >= EdgeId::MAX as usize {
+        return Err(CapacityError {
+            kind: "edge",
+            requested: capacity,
+        });
+    }
+    Ok(capacity as EdgeId)
+}
+
+/// Validates a vertex-set size: ids `0..n` must stay clear of the
+/// `VertexId::MAX` dead-slot sentinel.
+fn check_vertex_count(n: usize) -> Result<(), CapacityError> {
+    if n > VertexId::MAX as usize {
+        return Err(CapacityError {
+            kind: "vertex",
+            requested: n - 1,
+        });
+    }
+    Ok(())
+}
 
 /// A mutable simple undirected graph whose edge ids survive updates.
 ///
@@ -21,7 +79,13 @@ const DEAD: (VertexId, VertexId) = (VertexId::MAX, VertexId::MAX);
 
 impl DynamicGraph {
     /// An empty dynamic graph on `n` vertices.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` vertex-id space.
     pub fn new(n: usize) -> Self {
+        if let Err(e) = check_vertex_count(n) {
+            panic!("{e}");
+        }
         DynamicGraph {
             adj: vec![Vec::new(); n],
             endpoints: Vec::new(),
@@ -52,10 +116,24 @@ impl DynamicGraph {
 
     /// Grows the vertex set to at least `n` vertices (new vertices are
     /// isolated). Existing ids are unaffected.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` vertex-id space (use
+    /// [`DynamicGraph::try_ensure_vertices`] to handle it).
     pub fn ensure_vertices(&mut self, n: usize) {
+        if let Err(e) = self.try_ensure_vertices(n) {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`DynamicGraph::ensure_vertices`], but reports an id-space
+    /// overflow instead of panicking. Checked before any allocation.
+    pub fn try_ensure_vertices(&mut self, n: usize) -> Result<(), CapacityError> {
+        check_vertex_count(n)?;
         if n > self.adj.len() {
             self.adj.resize(n, Vec::new());
         }
+        Ok(())
     }
 
     /// Number of live edges.
@@ -109,14 +187,33 @@ impl DynamicGraph {
     /// already exists or is a self-loop.
     ///
     /// # Panics
-    /// Panics if an endpoint is out of range.
+    /// Panics if an endpoint is out of range, or if the edge-id space is
+    /// exhausted (use [`DynamicGraph::try_insert_edge`] to handle the
+    /// latter).
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        match self.try_insert_edge(u, v) {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`DynamicGraph::insert_edge`], but reports edge-id-space
+    /// exhaustion instead of panicking (ids were previously truncated by an
+    /// unchecked `as u32` cast once the slot count passed `u32::MAX`).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn try_insert_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<Option<EdgeId>, CapacityError> {
         assert!(
             (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
             "endpoint out of range"
         );
         if u == v || self.edge_id(u, v).is_some() {
-            return None;
+            return Ok(None);
         }
         let e = match self.free.pop() {
             Some(id) => {
@@ -124,7 +221,7 @@ impl DynamicGraph {
                 id
             }
             None => {
-                let id = self.endpoints.len() as EdgeId;
+                let id = next_edge_id(self.endpoints.len())?;
                 self.endpoints.push((u.min(v), u.max(v)));
                 id
             }
@@ -135,7 +232,7 @@ impl DynamicGraph {
             row.insert(pos, (b, e));
         }
         self.num_edges += 1;
-        Some(e)
+        Ok(Some(e))
     }
 
     /// Removes `{u, v}`; returns its (now recycled) edge id if it existed.
@@ -290,5 +387,45 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn insert_out_of_range_panics() {
         DynamicGraph::new(2).insert_edge(0, 5);
+    }
+
+    #[test]
+    fn edge_id_boundary_is_exact() {
+        // One below the sentinel is the last assignable id; at the sentinel
+        // the allocator must refuse rather than truncate.
+        assert_eq!(next_edge_id(EdgeId::MAX as usize - 1), Ok(EdgeId::MAX - 1));
+        let err = next_edge_id(EdgeId::MAX as usize).unwrap_err();
+        assert_eq!(err.kind(), "edge");
+        assert!(err.to_string().contains("u32"), "{err}");
+        assert!(next_edge_id(EdgeId::MAX as usize + 1).is_err());
+    }
+
+    #[test]
+    fn vertex_count_boundary_is_exact() {
+        // n == VertexId::MAX keeps every id below the DEAD sentinel.
+        assert!(check_vertex_count(VertexId::MAX as usize).is_ok());
+        let err = check_vertex_count(VertexId::MAX as usize + 1).unwrap_err();
+        assert_eq!(err.kind(), "vertex");
+        assert!(err.to_string().contains("u32"), "{err}");
+    }
+
+    #[test]
+    fn try_ensure_vertices_rejects_overflow_without_allocating() {
+        let mut g = DynamicGraph::new(2);
+        // The check runs before the resize, so this returns instead of
+        // attempting a multi-gigabyte allocation.
+        assert!(g.try_ensure_vertices(VertexId::MAX as usize + 1).is_err());
+        assert_eq!(g.num_vertices(), 2);
+        assert!(g.try_ensure_vertices(4).is_ok());
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn try_insert_edge_matches_unchecked_path() {
+        let mut g = DynamicGraph::new(3);
+        let e = g.try_insert_edge(0, 1).unwrap().unwrap();
+        assert_eq!(g.edge_id(1, 0), Some(e));
+        assert_eq!(g.try_insert_edge(0, 1), Ok(None)); // duplicate
+        assert_eq!(g.try_insert_edge(2, 2), Ok(None)); // self-loop
     }
 }

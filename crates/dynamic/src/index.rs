@@ -114,7 +114,12 @@ impl DynamicIndex {
 
     fn grow_parent(&mut self) {
         while self.parent.len() < self.graph.edge_capacity() {
-            self.parent.push(AtomicU32::new(self.parent.len() as u32));
+            // The id space is guarded at insertion (`DynamicGraph` refuses
+            // ids reaching u32::MAX), so this conversion cannot truncate —
+            // keep it checked so a future capacity change fails loudly.
+            let id = u32::try_from(self.parent.len())
+                .expect("edge id space exceeds u32 (guarded by DynamicGraph)");
+            self.parent.push(AtomicU32::new(id));
         }
     }
 

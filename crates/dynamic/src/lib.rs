@@ -30,5 +30,5 @@ pub mod index;
 #[cfg(test)]
 mod proptests;
 
-pub use graph::DynamicGraph;
+pub use graph::{CapacityError, DynamicGraph};
 pub use index::{DynamicIndex, UpdateStats};

@@ -47,6 +47,11 @@ pub fn set_stealing_enabled(enabled: bool) {
 }
 
 /// Applies `ET_STEAL` (`0`/`false` disables) to the global toggle.
+///
+/// Env-only fallback: binaries with a command line resolve the toggle via
+/// `et_cli::resolve_toggle_with_default("steal", cli, "ET_STEAL", true)`
+/// instead, so an explicit `--steal`/`--no-steal` flag wins over the
+/// environment with a warning like every other toggle.
 pub fn init_stealing_from_env() {
     if let Ok(v) = std::env::var("ET_STEAL") {
         set_stealing_enabled(!(v == "0" || v.eq_ignore_ascii_case("false")));

@@ -1,0 +1,394 @@
+//! `serve_load` — load generator for the `et-serve` query service.
+//!
+//! Starts an in-process server (over a freshly built R-MAT index by
+//! default, or a `--graph`/`--index` pair from disk), then hammers
+//! `/query` from persistent client connections and reports client-side
+//! latency percentiles and throughput per cell of the
+//! `connections × cache` matrix:
+//!
+//! ```text
+//! serve_load [--out BENCH_serve.json] [--secs 2.0] [--quick]
+//!            [--connections 1,4,16] [--scale 13]
+//!            [--graph PATH --index PATH] [--k 4]
+//! ```
+//!
+//! The artifact rides the same gate as the other smoke benches: rows
+//! self-identify via `graph`/`connections`/`cache` id fields, and the
+//! `serve_p50_us`/`serve_p99_us`/`serve_qps` columns carry gate direction
+//! suffixes.
+
+use et_core::{build_index, Variant};
+use et_graph::{Backend, EdgeIndexedGraph};
+use et_serve::{ServeConfig, ServeState, Server, SharedIndex};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Meta {
+    dataset_suite: &'static str,
+    threads: usize,
+    quick: bool,
+    git_rev: String,
+    traced: bool,
+    mem_tracked: bool,
+}
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    connections: usize,
+    cache: &'static str,
+    requests: u64,
+    errors: u64,
+    serve_qps: f64,
+    serve_p50_us: f64,
+    serve_p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    benchmark: &'static str,
+    meta: Meta,
+    secs_per_cell: f64,
+    results: Vec<Row>,
+}
+
+fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if sha.len() >= 12 && sha.is_ascii() {
+            return sha[..12].to_string();
+        }
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+struct Opts {
+    out: Option<PathBuf>,
+    secs: f64,
+    connections: Vec<usize>,
+    scale: u32,
+    k: u32,
+    graph: Option<PathBuf>,
+    index: Option<PathBuf>,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load [--out FILE] [--secs F] [--quick] [--connections 1,4,16]\n\
+         \u{20}                 [--scale N] [--k K] [--graph PATH --index PATH]\n\
+         --out FILE          write the BENCH_serve.json artifact\n\
+         --secs F            seconds per (connections, cache) cell (default 2.0)\n\
+         --quick             0.5s cells\n\
+         --connections LIST  connection counts to sweep (default 1,4,16)\n\
+         --scale N           R-MAT scale for the generated graph (default 13)\n\
+         --k K               truss level queried (default 4)\n\
+         --graph/--index     serve an on-disk pair instead of generating"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        out: None,
+        secs: 2.0,
+        connections: vec![1, 4, 16],
+        scale: 13,
+        k: 4,
+        graph: None,
+        index: None,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => opts.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--secs" => {
+                opts.secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--quick" => opts.quick = true,
+            "--connections" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.connections = v
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if opts.connections.is_empty() || opts.connections.contains(&0) {
+                    usage();
+                }
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--k" => {
+                opts.k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--graph" => opts.graph = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--index" => opts.index = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    if opts.quick {
+        opts.secs = opts.secs.min(0.5);
+    }
+    opts
+}
+
+/// One client connection's share of a cell: fire `/query` requests over a
+/// persistent connection until the deadline, recording per-request
+/// microseconds. Returns `(latencies_us, error_count)`.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    deadline: Instant,
+    num_vertices: u32,
+    k: u32,
+    seed: u64,
+) -> (Vec<u64>, u64) {
+    let mut latencies = Vec::with_capacity(4096);
+    let mut errors = 0u64;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return (latencies, 1);
+    };
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return (latencies, 1);
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // Deterministic per-connection query stream (splitmix64 step).
+    let mut rng = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut line = String::new();
+    while Instant::now() < deadline {
+        rng ^= rng >> 30;
+        rng = rng.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        rng ^= rng >> 27;
+        let v = (rng % u64::from(num_vertices.max(1))) as u32;
+        let started = Instant::now();
+        if write!(
+            writer,
+            "GET /query?v={v}&k={k} HTTP/1.1\r\nHost: bench\r\n\r\n"
+        )
+        .and_then(|_| writer.flush())
+        .is_err()
+        {
+            errors += 1;
+            break;
+        }
+        // Read the status line + headers, then skip the body.
+        line.clear();
+        if reader.read_line(&mut line).is_err() || !line.starts_with("HTTP/1.1 200") {
+            errors += 1;
+            break;
+        }
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).is_err() {
+                errors += 1;
+                return (latencies, errors);
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(v) = trimmed
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        if std::io::Read::read_exact(&mut reader, &mut body).is_err() {
+            errors += 1;
+            break;
+        }
+        latencies.push(started.elapsed().as_micros() as u64);
+    }
+    (latencies, errors)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64
+}
+
+fn run_cell(
+    server: &Server,
+    connections: usize,
+    secs: f64,
+    num_vertices: u32,
+    k: u32,
+) -> (Vec<u64>, u64, f64) {
+    let addr = server.local_addr();
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            std::thread::spawn(move || {
+                client_loop(
+                    addr,
+                    deadline,
+                    num_vertices,
+                    k,
+                    0xe7_5eed ^ (c as u64) << 17,
+                )
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (mut lats, errs) = h.join().expect("client thread panicked");
+        latencies.append(&mut lats);
+        errors += errs;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (latencies, errors, elapsed)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+
+    let (state, graph_name) = match (&opts.graph, &opts.index) {
+        (Some(g), Some(i)) => match ServeState::load(g, i, Backend::from_env()) {
+            Ok(s) => (
+                s,
+                format!(
+                    "file-{}",
+                    g.file_stem().unwrap_or_default().to_string_lossy()
+                ),
+            ),
+            Err(e) => {
+                eprintln!("serve_load: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        (None, None) => {
+            eprintln!(
+                "serve_load: generating R-MAT s{} and building the index...",
+                opts.scale
+            );
+            let graph = EdgeIndexedGraph::new(et_gen::rmat_small(opts.scale, 8, 42));
+            let build = build_index(&graph, Variant::Afforest);
+            (
+                ServeState::new(graph, build.index, build.hierarchy),
+                format!("rmat-s{}", opts.scale),
+            )
+        }
+        _ => usage(),
+    };
+    let num_vertices = state.graph.num_vertices() as u32;
+    let max_conns = opts.connections.iter().copied().max().unwrap_or(1);
+
+    // Cache capacity is fixed at SharedIndex construction, so each cache
+    // arm gets its own server over a clone of the state (bench-scale
+    // graphs, so the copy is cheap relative to the measurement).
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (cache_name, capacity) in [("cache-off", 0usize), ("cache-on", 4096usize)] {
+        let arm_state = ServeState::new(
+            state.graph.clone(),
+            state.index.clone(),
+            state.hierarchy.clone(),
+        );
+        let shared = Arc::new(SharedIndex::new(arm_state, capacity, None));
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: max_conns,
+        };
+        let server = match Server::start(Arc::clone(&shared), &config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve_load: cannot start server: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for &conns in &opts.connections {
+            let (latencies, errors, elapsed) =
+                run_cell(&server, conns, opts.secs, num_vertices, opts.k);
+            let requests = latencies.len() as u64;
+            let qps = requests as f64 / elapsed;
+            let row = Row {
+                graph: graph_name.clone(),
+                connections: conns,
+                cache: cache_name,
+                requests,
+                errors,
+                serve_qps: qps,
+                serve_p50_us: percentile(&latencies, 0.50),
+                serve_p99_us: percentile(&latencies, 0.99),
+            };
+            eprintln!(
+                "serve_load: {} c{:<3} {:>9} reqs {:>10.0} qps p50 {:>7.0}us p99 {:>7.0}us ({} errors)",
+                cache_name, conns, requests, qps, row.serve_p50_us, row.serve_p99_us, errors
+            );
+            if requests == 0 || errors > 0 {
+                failed = true;
+            }
+            rows.push(row);
+        }
+        server.stop();
+    }
+
+    let artifact = Artifact {
+        benchmark: "serve",
+        meta: Meta {
+            dataset_suite: "synthetic-smoke-v2",
+            threads: rayon::current_num_threads(),
+            quick: opts.quick,
+            git_rev: git_rev(),
+            traced: et_obs::enabled(),
+            mem_tracked: et_obs::mem_tracking_active(),
+        },
+        secs_per_cell: opts.secs,
+        results: rows,
+    };
+    let text = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("serve_load: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("serve_load: wrote {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+    if failed {
+        eprintln!("serve_load: FAILED — a cell recorded zero requests or client errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

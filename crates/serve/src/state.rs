@@ -1,0 +1,63 @@
+//! The immutable snapshot the server reads: graph + index + hierarchy,
+//! stamped with the epoch it was published under.
+
+use et_core::{io as index_io, SuperGraph, TrussHierarchy};
+use et_graph::{io as graph_io, Backend, EdgeIndexedGraph};
+use std::path::Path;
+
+/// One published serving state. Immutable after construction; shared across
+/// worker threads behind an `Arc` via [`crate::swap::Swap`].
+#[derive(Debug)]
+pub struct ServeState {
+    /// The edge-indexed input graph queries resolve against.
+    pub graph: EdgeIndexedGraph,
+    /// The EquiTruss supergraph index.
+    pub index: SuperGraph,
+    /// The merge forest answering `(vertex, k)` climbs.
+    pub hierarchy: TrussHierarchy,
+    /// The [`crate::swap::Swap`] epoch this state was published under
+    /// (stamped by [`crate::SharedIndex`]; 0 until published).
+    pub epoch: u64,
+}
+
+// The whole snapshot is shared read-only across worker threads; a non-Sync
+// field sneaking into any layer below must fail the build, not the server.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeState>();
+};
+
+impl ServeState {
+    /// Wraps an in-memory graph/index/hierarchy triple (epoch 0 until
+    /// published).
+    pub fn new(graph: EdgeIndexedGraph, index: SuperGraph, hierarchy: TrussHierarchy) -> Self {
+        ServeState {
+            graph,
+            index,
+            hierarchy,
+            epoch: 0,
+        }
+    }
+
+    /// Loads a `.bin`/`.txt` graph and its `.etidx` index pair through the
+    /// mmap-aware loaders, validating that they describe the same graph.
+    pub fn load(graph_path: &Path, index_path: &Path, backend: Backend) -> Result<Self, String> {
+        let g = graph_io::read_graph_with(graph_path, backend)
+            .map_err(|e| format!("cannot load graph {}: {e}", graph_path.display()))?;
+        let graph = EdgeIndexedGraph::try_new(g).map_err(|e| format!("cannot index graph: {e}"))?;
+        let (index, trussness, hierarchy) =
+            index_io::read_index_with_hierarchy_with(index_path, backend)
+                .map_err(|e| format!("cannot load index {}: {e}", index_path.display()))?;
+        if trussness.len() != graph.num_edges() {
+            return Err(format!(
+                "index {} was built for a graph with {} edges, but {} has {} — \
+                 the graph/index pair does not match",
+                index_path.display(),
+                trussness.len(),
+                graph_path.display(),
+                graph.num_edges()
+            ));
+        }
+        Ok(ServeState::new(graph, index, hierarchy))
+    }
+}
